@@ -1,0 +1,160 @@
+// Command analyze runs the paper's work-load characterization on a
+// trace file — either a real archive trace (SWF/GWA) or a synthetic
+// one produced by tracegen (including Google clusterdata-v1 CSV).
+//
+// Usage:
+//
+//	analyze -format swf -in trace.swf
+//	analyze -format gwa -in trace.gwa
+//	analyze -format gtrace -events task_events.csv [-usage task_usage.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fit"
+	"repro/internal/gtrace"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		format = fs.String("format", "swf", "swf, gwa or gtrace")
+		in     = fs.String("in", "", "SWF/GWA input file")
+		events = fs.String("events", "", "gtrace: task_events.csv")
+		usage  = fs.String("usage", "", "gtrace: task_usage.csv (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var jobs []trace.Job
+	var err error
+	switch *format {
+	case "swf", "gwa":
+		if *in == "" {
+			err = fmt.Errorf("-in required for %s", *format)
+			break
+		}
+		f := swf.SWF
+		if *format == "gwa" {
+			f = swf.GWA
+		}
+		jobs, err = readSWF(*in, f)
+	case "gtrace":
+		if *events == "" {
+			err = fmt.Errorf("-events required for gtrace")
+			break
+		}
+		jobs, err = readGTrace(*events, *usage)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err == nil && len(jobs) == 0 {
+		err = fmt.Errorf("no jobs in trace")
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		return 1
+	}
+	if err := analyze(stdout, jobs); err != nil {
+		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func readSWF(path string, format swf.Format) ([]trace.Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return swf.ReadJobs(f, format, false)
+}
+
+func readGTrace(eventsPath, usagePath string) ([]trace.Job, error) {
+	ef, err := os.Open(eventsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	events, err := gtrace.DecodeEvents(ef)
+	if err != nil {
+		return nil, err
+	}
+	var samples []trace.UsageSample
+	if usagePath != "" {
+		uf, err := os.Open(usagePath)
+		if err != nil {
+			return nil, err
+		}
+		defer uf.Close()
+		if samples, err = gtrace.DecodeUsage(uf); err != nil {
+			return nil, err
+		}
+	}
+	return trace.JobsFromEvents(events, samples), nil
+}
+
+func analyze(w io.Writer, jobs []trace.Job) error {
+	horizon := int64(0)
+	for _, j := range jobs {
+		if j.End > horizon {
+			horizon = j.End
+		}
+	}
+	lens := workload.JobLengths(jobs)
+	intervals := workload.SubmissionIntervals(jobs)
+	rates := workload.SubmissionRates(jobs, horizon)
+	mc := workload.SummarizeMassCount(lens)
+	cpu := workload.CPUUsage(jobs)
+
+	tbl := &report.Table{
+		ID: "analysis", Title: fmt.Sprintf("Workload characterization (%d jobs, %.1f days)", len(jobs), float64(horizon)/86400),
+		Columns: []string{"metric", "value"},
+	}
+	q := func(xs []float64, p float64) string { return report.F(stats.Quantile(xs, p)) }
+	tbl.AddRow("job length p50/p90/max (s)", fmt.Sprintf("%s / %s / %s", q(lens, 0.5), q(lens, 0.9), report.F(stats.Max(lens))))
+	tbl.AddRow("P(length < 1000 s)", report.F2(stats.NewECDF(lens).Eval(1000)))
+	tbl.AddRow("length mass-count joint ratio", fmt.Sprintf("%.0f/%.0f", mc.JointItems, mc.JointMass))
+	tbl.AddRow("length mm-distance (h)", report.F2(mc.MMDistance/3600))
+	if len(intervals) > 0 {
+		tbl.AddRow("submission interval p50/p90 (s)", fmt.Sprintf("%s / %s", q(intervals, 0.5), q(intervals, 0.9)))
+	}
+	tbl.AddRow("jobs/hour max/avg/min", fmt.Sprintf("%s / %s / %s", report.I(rates.Max), report.F(rates.Avg), report.I(rates.Min)))
+	tbl.AddRow("submission fairness (Jain)", report.F2(rates.Fairness))
+	if len(cpu) > 0 {
+		tbl.AddRow("CPU utilisation p50 (Formula 4)", q(cpu, 0.5))
+	}
+	if best, err := fit.Best(positive(lens)); err == nil {
+		tbl.AddRow("best-fit length model",
+			fmt.Sprintf("%s %v (KS %.3f)", best.Name, best.Params, best.KS))
+	}
+	return tbl.Render(w)
+}
+
+// positive filters out zero lengths, which the parametric families
+// cannot carry.
+func positive(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gtrace"
+	"repro/internal/rng"
+	"repro/internal/swf"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func writeSWF(t *testing.T, dir string) string {
+	t.Helper()
+	jobs := synth.AuverGrid.Generate(86400, rng.New(1))
+	path := filepath.Join(dir, "trace.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := swf.NewWriter(f, swf.SWF)
+	if err := w.WriteJobs(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeSWF(t *testing.T) {
+	path := writeSWF(t, t.TempDir())
+	var out, errOut bytes.Buffer
+	code := run([]string{"-format", "swf", "-in", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"Workload characterization", "job length", "fairness", "joint ratio"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAnalyzeGTrace(t *testing.T) {
+	dir := t.TempDir()
+	events := []trace.TaskEvent{
+		{Time: 0, JobID: 1, TaskIndex: 0, Machine: -1, Type: trace.EventSubmit, Priority: 1},
+		{Time: 5, JobID: 1, TaskIndex: 0, Machine: 0, Type: trace.EventSchedule, Priority: 1},
+		{Time: 900, JobID: 1, TaskIndex: 0, Machine: 0, Type: trace.EventFinish, Priority: 1},
+		{Time: 100, JobID: 2, TaskIndex: 0, Machine: -1, Type: trace.EventSubmit, Priority: 2},
+		{Time: 110, JobID: 2, TaskIndex: 0, Machine: 0, Type: trace.EventSchedule, Priority: 2},
+		{Time: 2000, JobID: 2, TaskIndex: 0, Machine: 0, Type: trace.EventKill, Priority: 2},
+	}
+	path := filepath.Join(dir, "task_events.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gtrace.EncodeEvents(f, events); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-format", "gtrace", "-events", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "2 jobs") {
+		t.Fatalf("job count missing:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "swf"}, &out, &errOut); code != 1 {
+		t.Error("missing -in accepted")
+	}
+	if code := run([]string{"-format", "gtrace"}, &out, &errOut); code != 1 {
+		t.Error("missing -events accepted")
+	}
+	if code := run([]string{"-format", "weird", "-in", "x"}, &out, &errOut); code != 1 {
+		t.Error("unknown format accepted")
+	}
+	if code := run([]string{"-format", "swf", "-in", "/nonexistent/file"}, &out, &errOut); code != 1 {
+		t.Error("missing file accepted")
+	}
+}

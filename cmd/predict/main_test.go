@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPredictGoogle(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "Google", "-hosts", "5", "-days", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"prediction accuracy", "last-value", "best-fit predictor"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestPredictGrid(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "AuverGrid", "-hosts", "4", "-days", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	// Grid hosts are highly predictable: persistence should dominate
+	// and its hit rate should be printed high.
+	if !strings.Contains(out.String(), "best-fit predictor: last-value") {
+		t.Logf("best-fit on grid was not persistence:\n%s", out.String())
+	}
+}
+
+func TestPredictWithHMM(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "SHARCNET", "-hosts", "2", "-days", "1", "-hmm"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "hmm(") {
+		t.Fatalf("HMM row missing:\n%s", out.String())
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-system", "Nope"}, &out, &errOut); code != 1 {
+		t.Error("unknown system accepted")
+	}
+	if code := run([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Command repro regenerates every table and figure of the paper
+// "Characterization and Comparison of Cloud versus Grid Workloads"
+// (CLUSTER 2012) from the calibrated synthetic models.
+//
+// Usage:
+//
+//	repro [-scale quick|full] [-only fig3,table1] [-out dir] [-check]
+//	      [-seed n] [-machines n] [-sim-days n] [-workload-days n]
+//
+// Tables print to stdout; with -out, every figure's data series is
+// written as a gnuplot-ready .dat file and every table as .csv. With
+// -check, the measured metrics are verified against the paper's
+// acceptance bands and the exit status reflects the verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale        = fs.String("scale", "quick", "reproduction scale: quick or full")
+		only         = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		out          = fs.String("out", "", "directory for .dat/.csv outputs")
+		seed         = fs.Uint64("seed", 0, "override random seed")
+		machines     = fs.Int("machines", 0, "override simulated machine count")
+		simDays      = fs.Int("sim-days", 0, "override simulation horizon (days)")
+		workloadDays = fs.Int("workload-days", 0, "override workload horizon (days)")
+		verbose      = fs.Bool("v", false, "print measured metrics")
+		check        = fs.Bool("check", false, "verify metrics against the paper's acceptance bands")
+		extensions   = fs.Bool("extensions", false, "also run the extension analyses (periodicity, prediction, queueing, robustness)")
+		markdown     = fs.String("markdown", "", "write a Markdown report of all tables to this file")
+		list         = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
+		}
+		for _, e := range core.Extensions() {
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	cfg := core.QuickConfig()
+	if *scale == "full" {
+		cfg = core.DefaultConfig()
+	} else if *scale != "quick" {
+		fmt.Fprintf(stderr, "repro: unknown scale %q\n", *scale)
+		return 2
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *machines > 0 {
+		cfg.Machines = *machines
+	}
+	if *simDays > 0 {
+		cfg.SimHorizon = int64(*simDays) * 86400
+	}
+	if *workloadDays > 0 {
+		cfg.WorkloadHorizon = int64(*workloadDays) * 86400
+	}
+
+	experiments := core.Experiments()
+	if *extensions {
+		experiments = append(experiments, core.Extensions()...)
+	}
+	if *only != "" {
+		var selected []core.Experiment
+		for _, id := range strings.Split(*only, ",") {
+			e, err := core.FindAny(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(stderr, "repro: %v\n", err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+		experiments = selected
+	}
+
+	ctx := core.NewContext(cfg)
+	fmt.Fprintf(stdout, "reproduction scale: %d machines, %.0fd sim, %.0fd workload, seed %d\n\n",
+		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
+
+	var results []*core.Result
+	for _, e := range experiments {
+		start := time.Now()
+		res, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "repro: %s: %v\n", e.ID, err)
+			return 1
+		}
+		results = append(results, res)
+		fmt.Fprintf(stdout, "=== %s (%.1fs)\n", e.Title, time.Since(start).Seconds())
+		for _, tbl := range res.Tables {
+			if err := tbl.Render(stdout); err != nil {
+				fmt.Fprintf(stderr, "repro: render: %v\n", err)
+				return 1
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Fprintf(stdout, "  note: %s\n", note)
+		}
+		if *verbose {
+			for k, v := range res.Metrics {
+				fmt.Fprintf(stdout, "  metric %s = %.4g\n", k, v)
+			}
+		}
+		if *out != "" {
+			for _, tbl := range res.Tables {
+				if _, err := tbl.SaveCSV(*out); err != nil {
+					fmt.Fprintf(stderr, "repro: %v\n", err)
+					return 1
+				}
+			}
+			for _, s := range res.Series {
+				path, err := s.SaveDAT(*out)
+				if err != nil {
+					fmt.Fprintf(stderr, "repro: %v\n", err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "  wrote %s\n", path)
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if *markdown != "" {
+		if err := writeMarkdownReport(*markdown, cfg, results); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *markdown)
+	}
+
+	if *check {
+		crs := core.Check(results)
+		if err := core.RenderChecks(stdout, crs); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+		if pass, total := core.Passed(crs); pass < total {
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeMarkdownReport renders every result's tables, notes and metrics
+// as one Markdown document.
+func writeMarkdownReport(path string, cfg core.Config, results []*core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Reproduction report\n\n")
+	fmt.Fprintf(f, "Scale: %d machines, %.0f-day simulation, %.0f-day workload, seed %d.\n\n",
+		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
+	for _, r := range results {
+		fmt.Fprintf(f, "## %s — %s\n\n", r.ID, r.Title)
+		for _, tbl := range r.Tables {
+			if err := tbl.WriteMarkdown(f); err != nil {
+				return err
+			}
+			fmt.Fprintln(f)
+		}
+		for _, note := range r.Notes {
+			fmt.Fprintf(f, "> %s\n\n", note)
+		}
+		if len(r.Metrics) > 0 {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(f, "<details><summary>metrics</summary>\n\n")
+			for _, k := range keys {
+				fmt.Fprintf(f, "- `%s` = %.4g\n", k, r.Metrics[k])
+			}
+			fmt.Fprintf(f, "\n</details>\n\n")
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulateRuns(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-machines", "8", "-days", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"Event mix", "abnormal completion fraction", "Host load summary", "mean CPU usage"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSimulatePlacements(t *testing.T) {
+	for _, pol := range []string{"balanced", "best-fit", "random"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-machines", "4", "-days", "1", "-placement", pol}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: exit %d: %s", pol, code, errOut.String())
+		}
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-placement", "nope"}, &out, &errOut); code != 2 {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+func TestSimulateNoPreemption(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-machines", "4", "-days", "1", "-no-preemption"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "preemptions: 0") {
+		t.Errorf("preemption not disabled:\n%s", out.String())
+	}
+}
+
+func TestSimulateChurn(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-machines", "6", "-days", "2", "-churn-mtbf-hours", "6", "-churn-downtime-min", "20"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "machine failures: 0\n") {
+		t.Errorf("churn produced no failures:\n%s", out.String())
+	}
+}
+
+func TestSimulateBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}

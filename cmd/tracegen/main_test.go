@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gtrace"
+	"repro/internal/swf"
+)
+
+func TestGenerateGoogleTrace(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "Google", "-machines", "5", "-days", "1", "-out", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"machine_events.csv", "task_events.csv", "task_usage.csv"} {
+		path := filepath.Join(dir, name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	// The generated trace must decode and validate.
+	mf, _ := os.Open(filepath.Join(dir, "machine_events.csv"))
+	ef, _ := os.Open(filepath.Join(dir, "task_events.csv"))
+	uf, _ := os.Open(filepath.Join(dir, "task_usage.csv"))
+	defer mf.Close()
+	defer ef.Close()
+	defer uf.Close()
+	tr, err := gtrace.Decode(mf, ef, uf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Machines) != 5 {
+		t.Fatalf("machines %d", len(tr.Machines))
+	}
+}
+
+func TestGenerateGridTraceSWF(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "AuverGrid", "-days", "1", "-out", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	path := filepath.Join(dir, "AuverGrid.swf")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := swf.ReadJobs(f, swf.SWF, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs in SWF output")
+	}
+	if !strings.Contains(out.String(), "AuverGrid.swf") {
+		t.Fatalf("output missing path: %s", out.String())
+	}
+}
+
+func TestGenerateGridTraceGWA(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "DAS-2", "-days", "1", "-format", "gwa", "-out", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	f, err := os.Open(filepath.Join(dir, "DAS-2.gwa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := swf.ReadJobs(f, swf.GWA, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs in GWA output")
+	}
+}
+
+func TestGenerateGoogleTraceWithChurn(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "Google", "-machines", "4", "-days", "2",
+		"-churn-mtbf-hours", "8", "-out", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "machine_events.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// REMOVE rows (event type 1) must appear with churn enabled.
+	hasRemove := false
+	for _, line := range strings.Split(string(data), "\n") {
+		parts := strings.Split(line, ",")
+		if len(parts) >= 3 && parts[2] == "1" {
+			hasRemove = true
+		}
+	}
+	if !hasRemove {
+		t.Fatalf("no REMOVE rows in churned trace:\n%s", string(data))
+	}
+	// The trace still decodes to exactly 4 machines.
+	ms, err := gtrace.DecodeMachines(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("decoded %d machines", len(ms))
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-system", "Nope", "-out", t.TempDir()}, &out, &errOut); code == 0 {
+		t.Fatal("unknown system accepted")
+	}
+	if code := run([]string{"-system", "AuverGrid", "-format", "xml", "-out", t.TempDir()}, &out, &errOut); code != 2 {
+		t.Fatal("unknown format accepted")
+	}
+	if code := run([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}

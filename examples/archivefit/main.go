@@ -1,0 +1,119 @@
+// Archivefit: close the loop between real archive traces and the
+// synthetic models. The example writes an AuverGrid-style trace in SWF
+// format (standing in for a downloaded archive file), reads it back
+// through the same codec a real trace would use, fits the parametric
+// families to its job lengths and interarrival gaps, and prints the
+// calibration constants a synth.GridSystem would be built from.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+
+	"repro/internal/fit"
+	"repro/internal/stats"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+const (
+	horizon = 10 * 86400
+	seed    = 17
+)
+
+func main() {
+	// 1. "Download" an archive trace (here: generate one and serialise
+	// it in the archive's own format).
+	jobs, err := repro.GenerateGridWorkload("AuverGrid", horizon, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := swf.NewWriter(&buf, swf.SWF)
+	if err := w.Header("Computer: AuverGrid", fmt.Sprintf("MaxJobs: %d", len(jobs))); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.WriteJobs(jobs); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive file: %d jobs, %d bytes of SWF\n\n", len(jobs), buf.Len())
+
+	// 2. Load it back exactly as a real archive file would be loaded.
+	recs, header, err := swf.ReadWithHeader(&buf, swf.SWF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("header: Computer=%s MaxJobs=%s\n", header["Computer"], header["MaxJobs"])
+	loaded := make([]repro.Job, 0, len(recs))
+	for _, r := range recs {
+		loaded = append(loaded, r.ToJob())
+	}
+
+	// 3. Fit the parametric families to the trace's key dimensions.
+	fmt.Println("\nfitted models (ranked by one-sample KS distance):")
+	dims := []struct {
+		name   string
+		sample []float64
+	}{
+		{"job length (s)", positive(workload.JobLengths(loaded))},
+		{"interarrival gap (s)", positive(workload.SubmissionIntervals(loaded))},
+		{"memory (MB)", positive(memoryOf(loaded))},
+	}
+	for _, d := range dims {
+		models, err := fit.Fit(d.sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s", d.name)
+		for i, m := range models {
+			if i >= 2 {
+				break
+			}
+			fmt.Printf("  %s %v (KS %.3f)", m.Name, round(m.Params), m.KS)
+		}
+		fmt.Println()
+	}
+
+	// 4. The calibration constants a GridSystem would carry.
+	lens := workload.JobLengths(loaded)
+	rates := workload.SubmissionRates(loaded, horizon)
+	fmt.Println("\ncalibration constants for a synth.GridSystem:")
+	fmt.Printf("  arrivals:  %.1f jobs/hour, fairness %.2f\n", rates.Avg, rates.Fairness)
+	fmt.Printf("  lengths:   median %.0f s, p90 %.0f s, max %.1f d\n",
+		stats.Quantile(lens, 0.5), stats.Quantile(lens, 0.9), stats.Max(lens)/86400)
+	mc := workload.SummarizeMassCount(lens)
+	fmt.Printf("  mass-count: joint ratio %.0f/%.0f, mm-distance %.1f h\n",
+		mc.JointItems, mc.JointMass, mc.MMDistance/3600)
+}
+
+func positive(xs []float64) []float64 {
+	out := xs[:0:0]
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func memoryOf(jobs []repro.Job) []float64 {
+	out := make([]float64, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.MemAvg)
+	}
+	return out
+}
+
+func round(params map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(params))
+	for k, v := range params {
+		out[k] = float64(int(v*1000)) / 1000
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate a Cloud (Google) and a Grid (AuverGrid)
+// workload, run the paper's headline characterizations and print the
+// comparison — job lengths, submission behaviour and resource usage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const horizon = 2 * 86400 // two days
+	const seed = 42
+
+	fmt.Println("Generating workloads (2 days)...")
+	gTasks, gJobs := repro.GenerateGoogleWorkload(horizon, seed)
+	agJobs, err := repro.GenerateGridWorkload("AuverGrid", horizon, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Google:    %d jobs, %d tasks\n", len(gJobs), len(gTasks))
+	fmt.Printf("  AuverGrid: %d jobs\n\n", len(agJobs))
+
+	// Job lengths (paper Fig 3).
+	gLens := workload.JobLengths(gJobs)
+	agLens := workload.JobLengths(agJobs)
+	fmt.Println("Job length (submission to completion):")
+	fmt.Printf("  Google    median %6.0f s, P(<1000s)=%.0f%%\n",
+		stats.Quantile(gLens, 0.5), 100*stats.NewECDF(gLens).Eval(1000))
+	fmt.Printf("  AuverGrid median %6.0f s, P(<1000s)=%.0f%%\n\n",
+		stats.Quantile(agLens, 0.5), 100*stats.NewECDF(agLens).Eval(1000))
+
+	// Task-length heavy tail (paper Fig 4).
+	mc := workload.SummarizeMassCount(workload.TaskLengths(gTasks))
+	fmt.Printf("Google task lengths: joint ratio %.0f/%.0f (paper: 6/94) — %.0f%% of tasks carry %.0f%% of the compute mass\n\n",
+		mc.JointItems, mc.JointMass, mc.JointItems, mc.JointMass)
+
+	// Submission behaviour (paper Table I).
+	gr := workload.SubmissionRates(gJobs, horizon)
+	ar := workload.SubmissionRates(agJobs, horizon)
+	fmt.Println("Submissions per hour (max/avg/min, Jain fairness):")
+	fmt.Printf("  Google    %4.0f / %5.1f / %3.0f   fairness %.2f\n", gr.Max, gr.Avg, gr.Min, gr.Fairness)
+	fmt.Printf("  AuverGrid %4.0f / %5.1f / %3.0f   fairness %.2f\n\n", ar.Max, ar.Avg, ar.Min, ar.Fairness)
+
+	// Host load: run a small cluster simulation (paper Section IV).
+	fmt.Println("Simulating a 25-machine Google-style cluster...")
+	res, err := repro.SimulateGoogleCluster(25, horizon, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d scheduling attempts, %.1f%% abnormal completions (paper: 59.2%%)\n",
+		res.Stats.Attempts, 100*res.Stats.AbnormalFraction())
+	m := res.Machines[0]
+	cpu := m.CPU()
+	fmt.Printf("  machine 0: mean CPU %.2f of capacity %.2f, CPU noise %.4f\n",
+		stats.Mean(cpu.Values), m.Machine.CPU, cpu.Noise(2))
+	fmt.Println("\nDone. See cmd/repro for the full table/figure reproduction.")
+}

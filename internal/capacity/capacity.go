@@ -1,0 +1,155 @@
+// Package capacity implements the capacity-planning and consolidation
+// calculations the paper's introduction motivates: "the resource
+// management system can proactively shift and consolidate load via
+// (VM) migration to improve host utilization, using fewer machines and
+// shutting off unneeded hosts."
+//
+// The inputs are the per-machine load series the simulator (or a real
+// trace) produces; the outputs are fluid-packing lower bounds on the
+// machines needed per window, peak percentiles, and the noise headroom
+// consolidation must reserve.
+package capacity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/hostload"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Demand is the cluster-wide resource demand per sampling window.
+type Demand struct {
+	Step   int64
+	CPU    []float64 // total CPU usage per window (normalised units)
+	Mem    []float64
+	CPUCap float64 // total park capacity
+	MemCap float64
+	N      int // machines
+}
+
+// ClusterDemand aggregates the simulator's per-machine series.
+func ClusterDemand(machines []*cluster.MachineSeries) (Demand, error) {
+	if len(machines) == 0 {
+		return Demand{}, fmt.Errorf("capacity: no machines")
+	}
+	n := machines[0].Running.Len()
+	d := Demand{
+		Step: machines[0].Running.Step,
+		CPU:  make([]float64, n),
+		Mem:  make([]float64, n),
+		N:    len(machines),
+	}
+	for _, m := range machines {
+		cpu := m.CPU()
+		mem := m.Mem()
+		if cpu.Len() != n {
+			return Demand{}, fmt.Errorf("capacity: machine %d has %d samples, want %d",
+				m.Machine.ID, cpu.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			d.CPU[i] += cpu.Values[i]
+			d.Mem[i] += mem.Values[i]
+		}
+		d.CPUCap += m.Machine.CPU
+		d.MemCap += m.Machine.Memory
+	}
+	return d, nil
+}
+
+// Plan is a consolidation study result.
+type Plan struct {
+	CPUCeiling, MemCeiling float64
+
+	// Needed is the fluid-packing lower bound on machines (of average
+	// size) required per window.
+	Needed []float64
+
+	P50, P90, P99, Peak float64
+	// FreeableAtP99 is how many machines could be off outside the p99
+	// peak.
+	FreeableAtP99 float64
+	// MeanCPUUtil / MeanMemUtil of the unconsolidated park.
+	MeanCPUUtil, MeanMemUtil float64
+}
+
+// MakePlan computes the consolidation plan for the given utilisation
+// ceilings (e.g. 0.7 CPU, 0.85 memory, leaving the headroom the paper
+// says Google reserves for load spikes).
+func MakePlan(d Demand, cpuCeil, memCeil float64) (Plan, error) {
+	if cpuCeil <= 0 || cpuCeil > 1 || memCeil <= 0 || memCeil > 1 {
+		return Plan{}, fmt.Errorf("capacity: ceilings must be in (0,1]")
+	}
+	if d.N == 0 || len(d.CPU) == 0 {
+		return Plan{}, fmt.Errorf("capacity: empty demand")
+	}
+	avgCPU := d.CPUCap / float64(d.N)
+	avgMem := d.MemCap / float64(d.N)
+	needed := make([]float64, len(d.CPU))
+	for i := range d.CPU {
+		byCPU := d.CPU[i] / (cpuCeil * avgCPU)
+		byMem := d.Mem[i] / (memCeil * avgMem)
+		// The 1e-9 guard keeps float round-off (e.g. 1.7/0.85 being one
+		// ULP above 2) from demanding a phantom machine.
+		needed[i] = math.Ceil(math.Max(byCPU, byMem) - 1e-9)
+		if needed[i] < 1 {
+			needed[i] = 1
+		}
+	}
+	p := Plan{
+		CPUCeiling:  cpuCeil,
+		MemCeiling:  memCeil,
+		Needed:      needed,
+		P50:         stats.Quantile(needed, 0.5),
+		P90:         stats.Quantile(needed, 0.9),
+		P99:         stats.Quantile(needed, 0.99),
+		Peak:        stats.Max(needed),
+		MeanCPUUtil: stats.Mean(d.CPU) / d.CPUCap,
+		MeanMemUtil: stats.Mean(d.Mem) / d.MemCap,
+	}
+	p.FreeableAtP99 = float64(d.N) - p.P99
+	if p.FreeableAtP99 < 0 {
+		p.FreeableAtP99 = 0
+	}
+	return p, nil
+}
+
+// NoiseHeadroom returns the per-host relative-CPU headroom a
+// consolidation plan must reserve to absorb k-sigma load noise, using
+// the paper's mean-filter noise measurement (the residual is roughly
+// the noise scale; multiply by k for the burst allowance).
+func NoiseHeadroom(machines []*cluster.MachineSeries, half int, k float64) float64 {
+	n := hostload.Noise(machines, hostload.CPUUsage, half)
+	return k * n.Max
+}
+
+// PolicySpread summarises how evenly a placement policy loads a park:
+// the standard deviation of mean relative CPU per machine and the
+// count of near-idle machines (shutdown candidates).
+type PolicySpread struct {
+	MeanLoad  float64
+	StdLoad   float64
+	NearIdle  int
+	Threshold float64
+}
+
+// Spread measures the per-machine load distribution.
+func Spread(machines []*cluster.MachineSeries, idleThreshold float64) PolicySpread {
+	var means []float64
+	idle := 0
+	for _, m := range machines {
+		mean := stats.Mean(hostload.RelativeSeries(m, hostload.CPUUsage, trace.LowPriority).Values)
+		means = append(means, mean)
+		if mean < idleThreshold {
+			idle++
+		}
+	}
+	return PolicySpread{
+		MeanLoad:  stats.Mean(means),
+		StdLoad:   stats.Std(means),
+		NearIdle:  idle,
+		Threshold: idleThreshold,
+	}
+}

@@ -1,0 +1,153 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+func fakeMachine(id int, cpuCap, memCap float64, cpu, mem []float64) *cluster.MachineSeries {
+	mk := func(vs []float64) *timeseries.Series {
+		return &timeseries.Series{Start: 0, Step: 300, Values: append([]float64(nil), vs...)}
+	}
+	zeros := make([]float64, len(cpu))
+	ms := &cluster.MachineSeries{Machine: trace.Machine{ID: id, CPU: cpuCap, Memory: memCap, PageCache: 1}}
+	ms.CPUByGroup[0] = mk(cpu)
+	ms.CPUByGroup[1] = mk(zeros)
+	ms.CPUByGroup[2] = mk(zeros)
+	ms.MemByGroup[0] = mk(mem)
+	ms.MemByGroup[1] = mk(zeros)
+	ms.MemByGroup[2] = mk(zeros)
+	ms.MemAssigned = mk(zeros)
+	ms.PageCache = mk(zeros)
+	ms.Running = mk(zeros)
+	return ms
+}
+
+func TestClusterDemandAggregates(t *testing.T) {
+	a := fakeMachine(0, 1, 1, []float64{0.2, 0.4}, []float64{0.1, 0.1})
+	b := fakeMachine(1, 0.5, 0.5, []float64{0.1, 0.1}, []float64{0.2, 0.3})
+	d, err := ClusterDemand([]*cluster.MachineSeries{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 2 || d.CPUCap != 1.5 || d.MemCap != 1.5 {
+		t.Fatalf("demand caps %+v", d)
+	}
+	if math.Abs(d.CPU[0]-0.3) > 1e-12 || math.Abs(d.CPU[1]-0.5) > 1e-12 {
+		t.Fatalf("cpu demand %v", d.CPU)
+	}
+	if math.Abs(d.Mem[1]-0.4) > 1e-12 {
+		t.Fatalf("mem demand %v", d.Mem)
+	}
+}
+
+func TestClusterDemandErrors(t *testing.T) {
+	if _, err := ClusterDemand(nil); err == nil {
+		t.Error("empty park accepted")
+	}
+	a := fakeMachine(0, 1, 1, []float64{0.2, 0.4}, []float64{0.1, 0.1})
+	b := fakeMachine(1, 1, 1, []float64{0.2}, []float64{0.1})
+	if _, err := ClusterDemand([]*cluster.MachineSeries{a, b}); err == nil {
+		t.Error("mismatched series lengths accepted")
+	}
+}
+
+func TestMakePlanKnownNumbers(t *testing.T) {
+	// 4 machines of capacity 1 each; demand 1.4 CPU at peak with a 0.7
+	// ceiling needs ceil(1.4/0.7) = 2 machines.
+	machines := []*cluster.MachineSeries{
+		fakeMachine(0, 1, 1, []float64{0.5, 0.2}, []float64{0.1, 0.1}),
+		fakeMachine(1, 1, 1, []float64{0.5, 0.1}, []float64{0.1, 0.1}),
+		fakeMachine(2, 1, 1, []float64{0.4, 0.1}, []float64{0.1, 0.1}),
+		fakeMachine(3, 1, 1, []float64{0.0, 0.0}, []float64{0.0, 0.0}),
+	}
+	d, err := ClusterDemand(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := MakePlan(d, 0.7, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Needed[0] != 2 || plan.Needed[1] != 1 {
+		t.Fatalf("needed %v, want [2 1]", plan.Needed)
+	}
+	if plan.Peak != 2 {
+		t.Fatalf("peak %v", plan.Peak)
+	}
+	if plan.FreeableAtP99 <= 0 {
+		t.Fatalf("freeable %v, want positive", plan.FreeableAtP99)
+	}
+	if plan.MeanCPUUtil <= 0 || plan.MeanMemUtil <= 0 {
+		t.Fatal("utilisation not computed")
+	}
+}
+
+func TestMakePlanValidation(t *testing.T) {
+	d := Demand{N: 1, CPU: []float64{0.1}, Mem: []float64{0.1}, CPUCap: 1, MemCap: 1}
+	if _, err := MakePlan(d, 0, 0.8); err == nil {
+		t.Error("zero ceiling accepted")
+	}
+	if _, err := MakePlan(d, 0.7, 1.5); err == nil {
+		t.Error("ceiling > 1 accepted")
+	}
+	if _, err := MakePlan(Demand{}, 0.7, 0.8); err == nil {
+		t.Error("empty demand accepted")
+	}
+}
+
+func TestMemoryBoundPlan(t *testing.T) {
+	// Memory-heavy demand: the memory ceiling binds, not CPU.
+	machines := []*cluster.MachineSeries{
+		fakeMachine(0, 1, 1, []float64{0.1}, []float64{0.9}),
+		fakeMachine(1, 1, 1, []float64{0.1}, []float64{0.8}),
+	}
+	d, _ := ClusterDemand(machines)
+	plan, err := MakePlan(d, 0.7, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mem demand 1.7, ceiling 0.85 -> 2 machines; cpu would need 1.
+	if plan.Needed[0] != 2 {
+		t.Fatalf("memory-bound plan needed %v, want 2", plan.Needed[0])
+	}
+}
+
+func TestEndToEndConsolidation(t *testing.T) {
+	machines := synth.GoogleMachines(20, rng.New(1))
+	horizon := int64(86400)
+	cfg := cluster.DefaultConfig(machines, horizon)
+	gcfg := synth.ScaledGoogleConfig(20, horizon)
+	tasks := synth.GenerateGoogleTasks(gcfg, rng.New(2))
+	res, err := cluster.Simulate(cfg, tasks, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ClusterDemand(res.Machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := MakePlan(d, 0.7, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.P99 > float64(d.N) {
+		t.Fatalf("needed %v exceeds park %d", plan.P99, d.N)
+	}
+	if plan.P50 > plan.P99 || plan.P99 > plan.Peak {
+		t.Fatalf("percentiles not monotone: %v %v %v", plan.P50, plan.P99, plan.Peak)
+	}
+	if h := NoiseHeadroom(res.Machines, 2, 3); h <= 0 || h > 1.5 {
+		t.Fatalf("noise headroom %v", h)
+	}
+	sp := Spread(res.Machines, 0.02)
+	if sp.MeanLoad <= 0 || sp.StdLoad < 0 {
+		t.Fatalf("spread %+v", sp)
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// TestCalibrationProbe prints utilization/noise numbers at moderate
+// scale; run with -run Probe -v to inspect.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	machines := synth.GoogleMachines(100, rng.New(1))
+	horizon := int64(4 * 86400)
+	cfg := DefaultConfig(machines, horizon)
+	gcfg := synth.ScaledGoogleConfig(len(machines), horizon)
+	tasks := synth.GenerateGoogleTasks(gcfg, rng.New(2))
+	t.Logf("tasks=%d", len(tasks))
+	res, err := Simulate(cfg, tasks, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuL, memL, maxCPU, maxMem, maxAssign, noise []float64
+	for _, m := range res.Machines {
+		cpu := m.CPU()
+		mem := m.Mem()
+		for i := range cpu.Values {
+			cpuL = append(cpuL, cpu.Values[i]/m.Machine.CPU)
+			memL = append(memL, mem.Values[i]/m.Machine.Memory)
+		}
+		maxCPU = append(maxCPU, stats.Max(cpu.Values)/m.Machine.CPU)
+		maxMem = append(maxMem, stats.Max(mem.Values)/m.Machine.Memory)
+		maxAssign = append(maxAssign, stats.Max(m.MemAssigned.Values)/m.Machine.Memory)
+		noise = append(noise, cpu.Noise(2))
+	}
+	t.Logf("mean CPU util=%.3f mean MEM util=%.3f", stats.Mean(cpuL), stats.Mean(memL))
+	t.Logf("mean max CPU=%.3f frac-at-cap=%.3f", stats.Mean(maxCPU), fracAbove(maxCPU, 0.99))
+	t.Logf("mean max MEM=%.3f mean max ASSIGN=%.3f", stats.Mean(maxMem), stats.Mean(maxAssign))
+	t.Logf("mean CPU noise=%.4f", stats.Mean(noise))
+	t.Logf("abnormal=%.3f attempts=%d neverSched=%d preempt=%d",
+		res.Stats.AbnormalFraction(), res.Stats.Attempts, res.Stats.NeverScheduled, res.Stats.Preemptions)
+}
+
+func fracAbove(xs []float64, thr float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x >= thr {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,882 @@
+// Package cluster implements a discrete-event simulator of the Google
+// data-center scheduling model described in Section II of the paper:
+// heterogeneous machines, a priority scheduler (high priority first,
+// FCFS within a priority, preemption of lower-priority work), task
+// failure/kill/loss injection with resubmission, and 5-minute usage
+// sampling per machine.
+//
+// The simulator consumes the task workload produced by internal/synth
+// (or any []trace.Task) and emits the event stream and per-machine
+// usage series that the Section IV host-load analyses consume.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// Policy selects the placement heuristic.
+type Policy int
+
+// Placement policies. Balanced (worst-fit) mirrors the paper's "use
+// the best resources first ... reaching an approximate load balancing
+// situation"; BestFit and Random exist for the ablation benches.
+const (
+	Balanced Policy = iota
+	BestFit
+	Random
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Balanced:
+		return "balanced"
+	case BestFit:
+		return "best-fit"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// OutcomeMix is the probability of each terminal event for an
+// execution attempt. The default reproduces the paper's completion
+// statistics: 59.2% of completion events are abnormal, of which 50%
+// fail and 30.7% are kills.
+type OutcomeMix struct {
+	Finish, Fail, Kill, Evict, Lost float64
+}
+
+// validate rejects negative probabilities and totals above 1 (the
+// remainder, if any, is folded into Lost by drawOutcome's default arm,
+// so a total below 1 is legal).
+func (m OutcomeMix) validate() error {
+	for _, p := range []float64{m.Finish, m.Fail, m.Kill, m.Evict, m.Lost} {
+		if p < 0 {
+			return fmt.Errorf("cluster: negative outcome probability %v", p)
+		}
+	}
+	if total := m.Finish + m.Fail + m.Kill + m.Evict + m.Lost; total > 1+1e-9 {
+		return fmt.Errorf("cluster: outcome probabilities sum to %v > 1", total)
+	}
+	return nil
+}
+
+// DefaultOutcomeMix returns the calibrated mix.
+func DefaultOutcomeMix() OutcomeMix {
+	return OutcomeMix{
+		Finish: 0.425,
+		Fail:   0.296, // 0.592 * 0.50
+		Kill:   0.182, // 0.592 * 0.307
+		Evict:  0.070,
+		Lost:   0.027,
+	}
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	Machines     []trace.Machine
+	Horizon      int64 // seconds simulated
+	SamplePeriod int64 // usage sampling period; 0 means 300 s (5 min)
+
+	Placement  Policy
+	Preemption bool // allow high-priority tasks to evict lower ones
+
+	Outcomes OutcomeMix
+
+	// Resubmission of failed/evicted tasks (step 6 of Fig 1).
+	MaxRetries  int
+	RetryDelay  int64   // seconds before a resubmission
+	FailRetryP  float64 // probability a failed task is resubmitted
+	EvictRetryP float64 // probability an evicted task is resubmitted
+
+	// UsageNoise is the std-dev of the per-window multiplicative CPU
+	// noise of each running task; this is the source of the Google
+	// host-load jitter the paper measures in Fig 13.
+	UsageNoise float64
+
+	// BurstProb and BurstMax model rare machine-wide CPU demand bursts
+	// (co-located antagonists, cron storms): with probability BurstProb
+	// per machine per sampling window, every task's CPU demand in that
+	// window is multiplied by a factor in (1.5, BurstMax). Bursts are
+	// what push each machine's maximum observed CPU to its capacity
+	// over a month-long trace (Fig 7a). Zero disables bursts.
+	BurstProb float64
+	BurstMax  float64
+
+	// UpdateProb is the per-attempt probability that the user tunes the
+	// task's constraints mid-run (Fig 1 step 3), emitting an UPDATE
+	// event. Purely observational: the resource profile is unchanged.
+	UpdateProb float64
+
+	// Machine churn: machines fail with exponential inter-failure
+	// times of mean ChurnMTBF seconds and stay offline for an
+	// exponential downtime of mean ChurnDowntime seconds. A failing
+	// machine evicts everything running on it (the real trace's
+	// machine_events REMOVE rows). Zero MTBF disables churn.
+	ChurnMTBF     int64
+	ChurnDowntime int64
+
+	// EmitUsage additionally records per-task UsageSamples (expensive;
+	// intended for small traces and format round-trips).
+	EmitUsage bool
+}
+
+// DefaultConfig returns the calibrated simulation parameters for the
+// given machine park and horizon.
+func DefaultConfig(machines []trace.Machine, horizon int64) Config {
+	return Config{
+		Machines:     machines,
+		Horizon:      horizon,
+		SamplePeriod: 300,
+		Placement:    Balanced,
+		Preemption:   true,
+		Outcomes:     DefaultOutcomeMix(),
+		MaxRetries:   2,
+		RetryDelay:   30,
+		FailRetryP:   0.55,
+		EvictRetryP:  0.90,
+		UsageNoise:   0.85,
+		BurstProb:    0.001,
+		BurstMax:     3.5,
+		UpdateProb:   0.02,
+	}
+}
+
+// MachineSeries holds one machine's sampled load signals. CPU and Mem
+// are split by the paper's three priority groups; the total is the sum.
+type MachineSeries struct {
+	Machine trace.Machine
+
+	CPUByGroup [3]*timeseries.Series // low / middle / high
+	MemByGroup [3]*timeseries.Series
+
+	MemAssigned *timeseries.Series
+	PageCache   *timeseries.Series
+	Running     *timeseries.Series // mean number of running tasks
+}
+
+// CPU returns the total CPU usage series (all priorities), normalised
+// by nothing — divide by Machine.CPU for a relative load level.
+func (m *MachineSeries) CPU() *timeseries.Series { return sumSeries(m.CPUByGroup[:]) }
+
+// Mem returns the total consumed-memory series.
+func (m *MachineSeries) Mem() *timeseries.Series { return sumSeries(m.MemByGroup[:]) }
+
+// CPUGroups returns the usage of the groups at or above the given
+// group (e.g. HighPriority → high only; MiddlePriority → mid+high).
+func (m *MachineSeries) CPUGroups(min trace.PriorityGroup) *timeseries.Series {
+	return sumSeries(m.CPUByGroup[int(min):])
+}
+
+// MemGroups is the memory analogue of CPUGroups.
+func (m *MachineSeries) MemGroups(min trace.PriorityGroup) *timeseries.Series {
+	return sumSeries(m.MemByGroup[int(min):])
+}
+
+func sumSeries(ss []*timeseries.Series) *timeseries.Series {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := &timeseries.Series{
+		Start:  ss[0].Start,
+		Step:   ss[0].Step,
+		Values: append([]float64(nil), ss[0].Values...),
+	}
+	for _, s := range ss[1:] {
+		for i := range out.Values {
+			out.Values[i] += s.Values[i]
+		}
+	}
+	return out
+}
+
+// Stats aggregates run-level counters.
+type Stats struct {
+	TasksSubmitted  int
+	Attempts        int // execution attempts (schedules)
+	EventCounts     map[trace.EventType]int
+	Preemptions     int
+	NeverScheduled  int // tasks still pending at the horizon
+	MachineFailures int // churn events (machines going offline)
+}
+
+// AbnormalFraction returns the share of terminal events that are
+// abnormal (the paper reports 59.2%).
+func (s Stats) AbnormalFraction() float64 {
+	var term, abn int
+	for e, n := range s.EventCounts {
+		if e.Terminal() {
+			term += n
+			if e.Abnormal() {
+				abn += n
+			}
+		}
+	}
+	if term == 0 {
+		return 0
+	}
+	return float64(abn) / float64(term)
+}
+
+// MachineEvent is one churn transition (the machine_events ADD/REMOVE
+// rows of the real trace).
+type MachineEvent struct {
+	Time    int64
+	Machine int
+	Up      bool // true = machine (re)joined, false = went offline
+}
+
+// Result is the simulator output.
+type Result struct {
+	Config        Config
+	Events        []trace.TaskEvent
+	Usage         []trace.UsageSample // only when Config.EmitUsage
+	Machines      []*MachineSeries
+	MachineEvents []MachineEvent     // churn transitions, if any
+	Pending       *timeseries.Series // cluster-wide mean pending tasks
+	Stats         Stats
+}
+
+// ---------------------------------------------------------------------------
+// engine internals
+
+type runningTask struct {
+	task    *trace.Task
+	machine int
+	start   int64
+	end     int64 // scheduled completion time
+	outcome trace.EventType
+	retries int
+	// Per-attempt resource profile.
+	cpuUse   float64 // mean CPU actually consumed
+	memUse   float64 // consumed memory
+	cacheUse float64
+	updateAt int64 // pending UPDATE event time (0 = none)
+}
+
+type pendingTask struct {
+	task     *trace.Task
+	retries  int
+	seq      int64 // FCFS order within a priority
+	enqueued int64 // when the task entered the pending queue
+}
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota
+	evComplete
+	evMachineDown
+	evMachineUp
+)
+
+type simEvent struct {
+	time    int64
+	seq     int64
+	kind    eventKind
+	pend    pendingTask  // evArrive
+	run     *runningTask // evComplete
+	machine int          // evMachineDown / evMachineUp
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type machineState struct {
+	m        trace.Machine
+	freeCPU  float64 // unreserved CPU (requests)
+	freeMem  float64
+	running  map[*runningTask]bool
+	cacheAff float64 // per-machine page-cache affinity (drives Fig 7d bimodality)
+	down     bool    // offline due to churn
+}
+
+type sim struct {
+	cfg      Config
+	s        *rng.Stream
+	noise    *rng.Stream
+	machines []*machineState
+	pendingQ [trace.MaxPriority + 1][]pendingTask
+	pendingN int
+	events   eventHeap
+	seq      int64
+
+	out        []trace.TaskEvent
+	machineEvs []MachineEvent
+	usage      []trace.UsageSample
+	series     []*MachineSeries
+	cpuAcc     [][3]*timeseries.Accumulator
+	memAcc     [][3]*timeseries.Accumulator
+	assignAcc  []*timeseries.Accumulator
+	cacheAcc   []*timeseries.Accumulator
+	runningAcc []*timeseries.Accumulator
+	pendAcc    *timeseries.Accumulator
+	stats      Stats
+}
+
+// Simulate runs the workload through the cluster and returns the
+// event stream, machine series and statistics.
+func Simulate(cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
+	if len(cfg.Machines) == 0 {
+		return nil, fmt.Errorf("cluster: no machines configured")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("cluster: horizon %d must be positive", cfg.Horizon)
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 300
+	}
+	if cfg.Outcomes == (OutcomeMix{}) {
+		cfg.Outcomes = DefaultOutcomeMix()
+	}
+	if err := cfg.Outcomes.validate(); err != nil {
+		return nil, err
+	}
+
+	sm := &sim{cfg: cfg, s: s.Child("sim"), noise: s.Child("noise")}
+	sm.stats.EventCounts = make(map[trace.EventType]int)
+
+	newAcc := func() *timeseries.Accumulator {
+		a, err := timeseries.NewAccumulator(0, cfg.Horizon, cfg.SamplePeriod)
+		if err != nil {
+			panic(err) // horizon/period validated above
+		}
+		return a
+	}
+	for _, m := range cfg.Machines {
+		ms := &machineState{
+			m: m, freeCPU: m.CPU, freeMem: m.Memory,
+			running: make(map[*runningTask]bool),
+		}
+		// Bimodal page-cache affinity: some machines serve file-backed
+		// workloads, most do not (Fig 7d).
+		if sm.s.Bool(0.45) {
+			ms.cacheAff = sm.s.Range(2.0, 5.0)
+		} else {
+			ms.cacheAff = sm.s.Range(0.1, 0.8)
+		}
+		sm.machines = append(sm.machines, ms)
+		sm.cpuAcc = append(sm.cpuAcc, [3]*timeseries.Accumulator{newAcc(), newAcc(), newAcc()})
+		sm.memAcc = append(sm.memAcc, [3]*timeseries.Accumulator{newAcc(), newAcc(), newAcc()})
+		sm.assignAcc = append(sm.assignAcc, newAcc())
+		sm.cacheAcc = append(sm.cacheAcc, newAcc())
+		sm.runningAcc = append(sm.runningAcc, newAcc())
+	}
+	sm.pendAcc = newAcc()
+
+	// Seed arrivals.
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Submit >= cfg.Horizon {
+			continue
+		}
+		sm.push(simEvent{time: t.Submit, kind: evArrive, pend: pendingTask{task: t}})
+	}
+
+	// Seed machine churn.
+	if cfg.ChurnMTBF > 0 && cfg.ChurnDowntime > 0 {
+		churn := s.Child("churn")
+		for mi := range sm.machines {
+			t := int64(churn.ExpFloat64() * float64(cfg.ChurnMTBF))
+			for t < cfg.Horizon {
+				down := 1 + int64(churn.ExpFloat64()*float64(cfg.ChurnDowntime))
+				sm.push(simEvent{time: t, kind: evMachineDown, machine: mi})
+				if up := t + down; up < cfg.Horizon {
+					sm.push(simEvent{time: up, kind: evMachineUp, machine: mi})
+				}
+				t += down + int64(churn.ExpFloat64()*float64(cfg.ChurnMTBF))
+			}
+		}
+	}
+
+	sm.run()
+	return sm.result(), nil
+}
+
+func (sm *sim) push(e simEvent) {
+	e.seq = sm.seq
+	sm.seq++
+	heap.Push(&sm.events, e)
+}
+
+func (sm *sim) emit(e trace.TaskEvent) {
+	sm.out = append(sm.out, e)
+	sm.stats.EventCounts[e.Type]++
+}
+
+func (sm *sim) run() {
+	heap.Init(&sm.events)
+	for sm.events.Len() > 0 {
+		e := heap.Pop(&sm.events).(simEvent)
+		if e.time >= sm.cfg.Horizon {
+			break
+		}
+		switch e.kind {
+		case evArrive:
+			sm.arrive(e.time, e.pend)
+		case evComplete:
+			sm.complete(e.time, e.run)
+		case evMachineDown:
+			sm.machineDown(e.time, e.machine)
+		case evMachineUp:
+			sm.machines[e.machine].down = false
+			sm.machineEvs = append(sm.machineEvs, MachineEvent{Time: e.time, Machine: e.machine, Up: true})
+		}
+		sm.schedulePending(e.time)
+	}
+	// Tasks still running at the horizon contribute usage up to the
+	// horizon; their accounting happens in finishAccounting.
+	sm.finishAccounting()
+}
+
+func (sm *sim) arrive(now int64, p pendingTask) {
+	t := p.task
+	sm.stats.TasksSubmitted++
+	sm.emit(trace.TaskEvent{
+		Time: now, JobID: t.JobID, TaskIndex: t.Index,
+		Machine: -1, Type: trace.EventSubmit, Priority: t.Priority,
+	})
+	p.seq = sm.seq
+	p.enqueued = now
+	sm.pendingQ[t.Priority] = append(sm.pendingQ[t.Priority], p)
+	sm.pendingN++
+}
+
+// schedulePending drains the pending queues highest priority first and
+// in FCFS order within each priority. A task that cannot be placed
+// (capacity or constraints) is skipped rather than blocking the queue:
+// on a heterogeneous park a constrained task would otherwise convoy
+// every peer behind it, which is not how the production scheduler
+// behaves (constrained tasks pend individually).
+func (sm *sim) schedulePending(now int64) {
+	for prio := trace.MaxPriority; prio >= trace.MinPriority; prio-- {
+		q := sm.pendingQ[prio]
+		if len(q) == 0 {
+			continue
+		}
+		remain := q[:0]
+		for _, p := range q {
+			mi := sm.place(p.task)
+			if mi < 0 && sm.cfg.Preemption {
+				mi = sm.preemptFor(now, p.task)
+			}
+			if mi < 0 {
+				remain = append(remain, p)
+				continue
+			}
+			// Time-weighted pending occupancy (Fig 8b pending curve).
+			sm.pendAcc.AddRange(p.enqueued, now, 1)
+			sm.start(now, p, mi)
+			sm.pendingN--
+		}
+		sm.pendingQ[prio] = remain
+	}
+}
+
+// place finds a machine for the task per the placement policy, or -1.
+func (sm *sim) place(t *trace.Task) int {
+	best := -1
+	var bestScore float64
+	checkFrom := 0
+	n := len(sm.machines)
+	if sm.cfg.Placement == Random {
+		checkFrom = sm.s.IntN(n)
+	}
+	for k := 0; k < n; k++ {
+		i := (checkFrom + k) % n
+		ms := sm.machines[i]
+		if ms.down || ms.m.CPU < t.MinCPUClass || ms.freeCPU < t.CPUReq || ms.freeMem < t.MemReq {
+			continue
+		}
+		switch sm.cfg.Placement {
+		case Random:
+			return i
+		case BestFit:
+			// Tightest remaining capacity after placement.
+			score := -(ms.freeCPU - t.CPUReq + ms.freeMem - t.MemReq)
+			if best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		default: // Balanced: most headroom relative to capacity
+			score := (ms.freeCPU/ms.m.CPU + ms.freeMem/ms.m.Memory) / 2
+			if best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+	}
+	return best
+}
+
+// preemptFor tries to make room for a high-priority task by evicting
+// strictly-lower-priority tasks from one machine. Returns the machine
+// index, or -1 if no machine can be cleared.
+func (sm *sim) preemptFor(now int64, t *trace.Task) int {
+	for i, ms := range sm.machines {
+		if ms.down || ms.m.CPU < t.MinCPUClass {
+			continue
+		}
+		var cpuGain, memGain float64
+		var victims []*runningTask
+		for rt := range ms.running {
+			if rt.task.Priority < t.Priority {
+				victims = append(victims, rt)
+				cpuGain += rt.task.CPUReq
+				memGain += rt.task.MemReq
+			}
+		}
+		if ms.freeCPU+cpuGain < t.CPUReq || ms.freeMem+memGain < t.MemReq {
+			continue
+		}
+		// Evict lowest priority first (FCFS ties by start then identity)
+		// until the task fits. The sort keeps the simulation
+		// deterministic: map iteration order must not pick victims.
+		sort.Slice(victims, func(a, b int) bool {
+			va, vb := victims[a], victims[b]
+			if va.task.Priority != vb.task.Priority {
+				return va.task.Priority < vb.task.Priority
+			}
+			if va.start != vb.start {
+				return va.start < vb.start
+			}
+			if va.task.JobID != vb.task.JobID {
+				return va.task.JobID < vb.task.JobID
+			}
+			return va.task.Index < vb.task.Index
+		})
+		for _, v := range victims {
+			if ms.freeCPU >= t.CPUReq && ms.freeMem >= t.MemReq {
+				break
+			}
+			sm.evict(now, v)
+		}
+		if ms.freeCPU >= t.CPUReq && ms.freeMem >= t.MemReq {
+			sm.stats.Preemptions++
+			return i
+		}
+	}
+	return -1
+}
+
+// machineDown takes a machine offline, evicting everything on it.
+func (sm *sim) machineDown(now int64, mi int) {
+	ms := sm.machines[mi]
+	if ms.down {
+		return
+	}
+	ms.down = true
+	sm.stats.MachineFailures++
+	sm.machineEvs = append(sm.machineEvs, MachineEvent{Time: now, Machine: mi, Up: false})
+	victims := make([]*runningTask, 0, len(ms.running))
+	for rt := range ms.running {
+		victims = append(victims, rt)
+	}
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].task.JobID != victims[b].task.JobID {
+			return victims[a].task.JobID < victims[b].task.JobID
+		}
+		return victims[a].task.Index < victims[b].task.Index
+	})
+	for _, rt := range victims {
+		sm.evict(now, rt)
+	}
+}
+
+// evict terminates a running task early with an EVICT event.
+func (sm *sim) evict(now int64, rt *runningTask) {
+	rt.end = now
+	rt.outcome = trace.EventEvict
+	sm.settle(now, rt)
+}
+
+// start begins an execution attempt on machine mi.
+func (sm *sim) start(now int64, p pendingTask, mi int) {
+	t := p.task
+	ms := sm.machines[mi]
+	ms.freeCPU -= t.CPUReq
+	ms.freeMem -= t.MemReq
+
+	outcome, dur := sm.drawOutcome(t)
+	rt := &runningTask{
+		task: t, machine: mi, start: now, end: now + dur,
+		outcome: outcome, retries: p.retries,
+		cpuUse: t.CPUReq * t.Busy,
+		memUse: t.MemReq * sm.s.Range(0.60, 0.95),
+	}
+	rt.cacheUse = t.MemReq * ms.cacheAff * sm.s.Range(0.5, 1.5)
+	ms.running[rt] = true
+
+	sm.emit(trace.TaskEvent{
+		Time: now, JobID: t.JobID, TaskIndex: t.Index,
+		Machine: mi, Type: trace.EventSchedule, Priority: t.Priority,
+	})
+	sm.stats.Attempts++
+	// Fig 1 step 3: the user may tune the task's constraints while it
+	// runs. Draw a uniform point inside the attempt; the UPDATE is
+	// emitted at settle time only if the attempt actually survived
+	// that long (an early eviction must not leave an UPDATE after the
+	// terminal event).
+	if sm.cfg.UpdateProb > 0 && dur > 2 && sm.s.Bool(sm.cfg.UpdateProb) {
+		rt.updateAt = now + 1 + sm.s.Int64N(dur-1)
+	}
+	sm.push(simEvent{time: rt.end, kind: evComplete, run: rt})
+}
+
+// drawOutcome picks the terminal event and the attempt duration.
+func (sm *sim) drawOutcome(t *trace.Task) (trace.EventType, int64) {
+	mix := sm.cfg.Outcomes
+	u := sm.s.Float64()
+	var outcome trace.EventType
+	switch {
+	case u < mix.Finish:
+		outcome = trace.EventFinish
+	case u < mix.Finish+mix.Fail:
+		outcome = trace.EventFail
+	case u < mix.Finish+mix.Fail+mix.Kill:
+		outcome = trace.EventKill
+	case u < mix.Finish+mix.Fail+mix.Kill+mix.Evict:
+		outcome = trace.EventEvict
+	default:
+		outcome = trace.EventLost
+	}
+	dur := t.Duration
+	switch outcome {
+	case trace.EventFail:
+		dur = int64(float64(t.Duration) * sm.s.Range(0.05, 0.95))
+	case trace.EventKill:
+		dur = int64(float64(t.Duration) * sm.s.Range(0.05, 1.0))
+	case trace.EventEvict:
+		dur = int64(float64(t.Duration) * sm.s.Range(0.10, 0.90))
+	case trace.EventLost:
+		dur = int64(float64(t.Duration) * sm.s.Range(0.01, 0.20))
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	return outcome, dur
+}
+
+// complete handles a completion event. Stale events for tasks that
+// were already evicted are ignored.
+func (sm *sim) complete(now int64, rt *runningTask) {
+	ms := sm.machines[rt.machine]
+	if !ms.running[rt] {
+		return // evicted earlier; already settled
+	}
+	sm.settle(now, rt)
+}
+
+// settle finalises an attempt: frees resources, emits the terminal
+// event, accounts usage and possibly resubmits.
+func (sm *sim) settle(now int64, rt *runningTask) {
+	ms := sm.machines[rt.machine]
+	delete(ms.running, rt)
+	ms.freeCPU += rt.task.CPUReq
+	ms.freeMem += rt.task.MemReq
+
+	if rt.updateAt > 0 && rt.updateAt < now && rt.updateAt < sm.cfg.Horizon {
+		sm.emit(trace.TaskEvent{
+			Time: rt.updateAt, JobID: rt.task.JobID, TaskIndex: rt.task.Index,
+			Machine: rt.machine, Type: trace.EventUpdate, Priority: rt.task.Priority,
+		})
+	}
+	sm.emit(trace.TaskEvent{
+		Time: now, JobID: rt.task.JobID, TaskIndex: rt.task.Index,
+		Machine: rt.machine, Type: rt.outcome, Priority: rt.task.Priority,
+	})
+	sm.account(rt, now)
+
+	retryP := 0.0
+	switch rt.outcome {
+	case trace.EventFail:
+		retryP = sm.cfg.FailRetryP
+	case trace.EventEvict:
+		retryP = sm.cfg.EvictRetryP
+	}
+	if retryP > 0 && rt.retries < sm.cfg.MaxRetries && sm.s.Bool(retryP) {
+		resub := now + sm.cfg.RetryDelay
+		if resub < sm.cfg.Horizon {
+			sm.push(simEvent{time: resub, kind: evArrive,
+				pend: pendingTask{task: rt.task, retries: rt.retries + 1}})
+		}
+	}
+}
+
+// account adds the attempt's usage over [rt.start, end) to the
+// machine accumulators, window by window so per-window noise shows up
+// in the host signal.
+func (sm *sim) account(rt *runningTask, end int64) {
+	if end > sm.cfg.Horizon {
+		end = sm.cfg.Horizon
+	}
+	if end <= rt.start {
+		return
+	}
+	mi := rt.machine
+	g := int(trace.GroupOf(rt.task.Priority))
+	step := sm.cfg.SamplePeriod
+	cpu := sm.cpuAcc[mi][g]
+	mem := sm.memAcc[mi][g]
+
+	for t := rt.start; t < end; {
+		winEnd := (t/step + 1) * step
+		if winEnd > end {
+			winEnd = end
+		}
+		frac := float64(winEnd-t) / float64(step)
+		n := 1 + sm.cfg.UsageNoise*sm.noise.NormFloat64()
+		if n < 0.05 {
+			n = 0.05
+		}
+		n *= sm.burstFactor(mi, t/step)
+		cpu.Add(t, rt.cpuUse*n*frac)
+		mem.Add(t, rt.memUse*frac*(1+0.15*sm.noise.NormFloat64()))
+		sm.assignAcc[mi].Add(t, rt.task.MemReq*frac)
+		sm.cacheAcc[mi].Add(t, rt.cacheUse*frac)
+		sm.runningAcc[mi].Add(t, frac)
+		t = winEnd
+	}
+
+	if sm.cfg.EmitUsage {
+		sm.usage = append(sm.usage, trace.UsageSample{
+			Start: rt.start, End: end,
+			JobID: rt.task.JobID, TaskIndex: rt.task.Index,
+			Machine: mi, CPU: rt.cpuUse, MemUsed: rt.memUse,
+			MemAssigned: rt.task.MemReq, PageCache: rt.cacheUse,
+			Priority: rt.task.Priority,
+		})
+	}
+}
+
+// burstFactor returns the machine-wide CPU burst multiplier for one
+// sampling window. It hashes (machine, window, seed) so every task on
+// the machine sees the same factor in the same window regardless of
+// accounting order — keeping the simulation deterministic without
+// storing a machines x windows matrix.
+func (sm *sim) burstFactor(machine int, window int64) float64 {
+	if sm.cfg.BurstProb <= 0 || sm.cfg.BurstMax <= 1 {
+		return 1
+	}
+	x := uint64(machine)<<40 ^ uint64(window) ^ sm.s.Seed()
+	// splitmix64 finaliser.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	if u >= sm.cfg.BurstProb {
+		return 1
+	}
+	// Map the sub-threshold draw to a factor in (1.5, BurstMax).
+	return 1.5 + (sm.cfg.BurstMax-1.5)*(u/sm.cfg.BurstProb)
+}
+
+// finishAccounting settles tasks still running at the horizon (they
+// contribute usage up to the horizon but emit no terminal event,
+// exactly like the truncated real trace) and counts stranded pending
+// tasks.
+func (sm *sim) finishAccounting() {
+	for _, ms := range sm.machines {
+		still := make([]*runningTask, 0, len(ms.running))
+		for rt := range ms.running {
+			still = append(still, rt)
+		}
+		// Deterministic order: accounting consumes the noise stream.
+		sort.Slice(still, func(a, b int) bool {
+			if still[a].task.JobID != still[b].task.JobID {
+				return still[a].task.JobID < still[b].task.JobID
+			}
+			return still[a].task.Index < still[b].task.Index
+		})
+		for _, rt := range still {
+			sm.account(rt, sm.cfg.Horizon)
+		}
+	}
+	for _, q := range sm.pendingQ {
+		sm.stats.NeverScheduled += len(q)
+		for _, p := range q {
+			sm.pendAcc.AddRange(p.enqueued, sm.cfg.Horizon, 1)
+		}
+	}
+}
+
+func (sm *sim) result() *Result {
+	res := &Result{
+		Config:        sm.cfg,
+		Events:        sm.out,
+		Usage:         sm.usage,
+		MachineEvents: sm.machineEvs,
+		Pending:       sm.pendAcc.Series(),
+		Stats:         sm.stats,
+	}
+	for i, ms := range sm.machines {
+		s := &MachineSeries{Machine: ms.m}
+		for g := 0; g < 3; g++ {
+			s.CPUByGroup[g] = sm.cpuAcc[i][g].Series()
+			s.MemByGroup[g] = sm.memAcc[i][g].Series()
+		}
+		// Physical clamp: a machine cannot consume beyond its CPU
+		// capacity; demand bursts above it saturate (this is why the
+		// paper sees per-machine maxima exactly at capacity, Fig 7a).
+		clampGroups(s.CPUByGroup[:], ms.m.CPU)
+		clampGroups(s.MemByGroup[:], ms.m.Memory)
+		s.MemAssigned = sm.assignAcc[i].Series()
+		clampSeries(s.MemAssigned, ms.m.Memory)
+		s.PageCache = sm.cacheAcc[i].Series()
+		clampSeries(s.PageCache, ms.m.PageCache)
+		s.Running = sm.runningAcc[i].Series()
+		res.Machines = append(res.Machines, s)
+	}
+	return res
+}
+
+// clampGroups scales the per-group series down proportionally wherever
+// their sum exceeds cap.
+func clampGroups(groups []*timeseries.Series, cap float64) {
+	if len(groups) == 0 {
+		return
+	}
+	n := len(groups[0].Values)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, g := range groups {
+			sum += g.Values[i]
+		}
+		if sum > cap {
+			scale := cap / sum
+			for _, g := range groups {
+				g.Values[i] *= scale
+			}
+		}
+	}
+}
+
+func clampSeries(s *timeseries.Series, cap float64) {
+	for i, v := range s.Values {
+		if v > cap {
+			s.Values[i] = cap
+		}
+	}
+}

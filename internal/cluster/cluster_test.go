@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// smallPark builds a small homogeneous park for targeted tests.
+func smallPark(n int) []trace.Machine {
+	ms := make([]trace.Machine, n)
+	for i := range ms {
+		ms[i] = trace.Machine{ID: i, CPU: 1, Memory: 1, PageCache: 1}
+	}
+	return ms
+}
+
+func oneTask(jobID int64, submit int64, prio int, cpu, mem float64, dur int64) trace.Task {
+	return trace.Task{
+		JobID: jobID, Index: 0, Submit: submit, Priority: prio,
+		CPUReq: cpu, MemReq: mem, Busy: 0.8, Duration: dur,
+	}
+}
+
+func alwaysFinish() OutcomeMix { return OutcomeMix{Finish: 1} }
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(Config{Horizon: 10}, nil, rng.New(1)); err == nil {
+		t.Fatal("no machines accepted")
+	}
+	if _, err := Simulate(Config{Machines: smallPark(1)}, nil, rng.New(1)); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestSingleTaskLifecycle(t *testing.T) {
+	cfg := DefaultConfig(smallPark(1), 3600)
+	cfg.Outcomes = alwaysFinish()
+	tasks := []trace.Task{oneTask(1, 100, 5, 0.5, 0.5, 600)}
+	res, err := Simulate(cfg, tasks, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 3 {
+		t.Fatalf("events %v", res.Events)
+	}
+	if res.Events[0].Type != trace.EventSubmit || res.Events[0].Time != 100 {
+		t.Fatalf("first event %+v", res.Events[0])
+	}
+	if res.Events[1].Type != trace.EventSchedule || res.Events[1].Time != 100 {
+		t.Fatalf("schedule event %+v (pending queue should be empty)", res.Events[1])
+	}
+	if res.Events[2].Type != trace.EventFinish || res.Events[2].Time != 700 {
+		t.Fatalf("finish event %+v", res.Events[2])
+	}
+	// Usage lands in the right priority group (5 -> middle).
+	cpu := res.Machines[0].CPUByGroup[int(trace.MiddlePriority)]
+	var total float64
+	for _, v := range cpu.Values {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("no CPU usage recorded in the middle group")
+	}
+	if res.Stats.AbnormalFraction() != 0 {
+		t.Fatal("finish-only run reported abnormal events")
+	}
+}
+
+func TestEventStreamObeysStateMachine(t *testing.T) {
+	machines := synth.GoogleMachines(20, rng.New(3))
+	cfg := DefaultConfig(machines, 8*3600)
+	gcfg := synth.DefaultGoogleConfig(cfg.Horizon)
+	gcfg.JobsPerHour = 30
+	gcfg.Arrival.PerHour = 30
+	gcfg.MaxTasksPerJob = 100
+	tasks := synth.GenerateGoogleTasks(gcfg, rng.New(4))
+	res, err := Simulate(cfg, tasks, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Machines: machines, Events: res.Events}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("simulated event stream violates the Fig 1 state machine: %v", err)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	// Flood a tiny park and check reservations and series stay within
+	// capacity.
+	cfg := DefaultConfig(smallPark(2), 4*3600)
+	cfg.Outcomes = alwaysFinish()
+	var tasks []trace.Task
+	for i := 0; i < 200; i++ {
+		tk := oneTask(int64(i+1), int64(i), 3, 0.3, 0.3, 1800)
+		tasks = append(tasks, tk)
+	}
+	res, err := Simulate(cfg, tasks, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Machines {
+		cpu := m.CPU()
+		for i, v := range cpu.Values {
+			if v > m.Machine.CPU+1e-9 {
+				t.Fatalf("CPU series exceeds capacity at sample %d: %v > %v", i, v, m.Machine.CPU)
+			}
+		}
+		for i, v := range m.MemAssigned.Values {
+			if v > m.Machine.Memory+1e-9 {
+				t.Fatalf("assigned memory exceeds capacity at %d: %v", i, v)
+			}
+		}
+	}
+	// With 2 machines x 1.0 CPU and 0.3-CPU tasks, at most 6 run at a
+	// time; with 200 half-hour tasks and a 4h horizon, some never run.
+	if res.Stats.NeverScheduled == 0 && res.Stats.Attempts == 200 {
+		t.Log("all tasks ran; acceptable but unexpected under load")
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	// Fill the machine with a low-priority task, then submit a
+	// high-priority one: the low one must be evicted.
+	cfg := DefaultConfig(smallPark(1), 3600)
+	cfg.Outcomes = alwaysFinish()
+	cfg.MaxRetries = 0
+	tasks := []trace.Task{
+		oneTask(1, 0, 2, 0.9, 0.9, 3000),
+		oneTask(2, 100, 11, 0.9, 0.9, 500),
+	}
+	res, err := Simulate(cfg, tasks, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Preemptions != 1 {
+		t.Fatalf("preemptions %d, want 1", res.Stats.Preemptions)
+	}
+	var sawEvict, sawHighSchedule bool
+	for _, e := range res.Events {
+		if e.Type == trace.EventEvict && e.JobID == 1 && e.Time == 100 {
+			sawEvict = true
+		}
+		if e.Type == trace.EventSchedule && e.JobID == 2 && e.Time == 100 {
+			sawHighSchedule = true
+		}
+	}
+	if !sawEvict || !sawHighSchedule {
+		t.Fatalf("eviction/schedule missing: evict=%v high=%v events=%v",
+			sawEvict, sawHighSchedule, res.Events)
+	}
+}
+
+func TestNoPreemptionWhenDisabled(t *testing.T) {
+	cfg := DefaultConfig(smallPark(1), 3600)
+	cfg.Outcomes = alwaysFinish()
+	cfg.Preemption = false
+	tasks := []trace.Task{
+		oneTask(1, 0, 2, 0.9, 0.9, 3000),
+		oneTask(2, 100, 11, 0.9, 0.9, 500),
+	}
+	res, err := Simulate(cfg, tasks, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Preemptions != 0 {
+		t.Fatal("preemption happened while disabled")
+	}
+	for _, e := range res.Events {
+		if e.Type == trace.EventEvict {
+			t.Fatal("evict event without preemption")
+		}
+	}
+}
+
+func TestFCFSWithinPriority(t *testing.T) {
+	// Two same-priority tasks that cannot run together: the earlier
+	// submission must run first.
+	cfg := DefaultConfig(smallPark(1), 7200)
+	cfg.Outcomes = alwaysFinish()
+	tasks := []trace.Task{
+		oneTask(1, 0, 5, 0.9, 0.9, 1000),
+		oneTask(2, 10, 5, 0.9, 0.9, 1000),
+	}
+	res, err := Simulate(cfg, tasks, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched []int64
+	for _, e := range res.Events {
+		if e.Type == trace.EventSchedule {
+			sched = append(sched, e.JobID)
+		}
+	}
+	if len(sched) != 2 || sched[0] != 1 || sched[1] != 2 {
+		t.Fatalf("schedule order %v, want [1 2]", sched)
+	}
+}
+
+func TestHigherPriorityScheduledFirst(t *testing.T) {
+	// Both pending at the same instant on a busy machine: the higher
+	// priority must go first once space frees.
+	cfg := DefaultConfig(smallPark(1), 7200)
+	cfg.Outcomes = alwaysFinish()
+	tasks := []trace.Task{
+		oneTask(1, 0, 5, 0.9, 0.9, 500), // occupies machine
+		oneTask(2, 10, 3, 0.9, 0.9, 100),
+		oneTask(3, 10, 9, 0.9, 0.9, 100),
+	}
+	cfg.Preemption = false
+	res, err := Simulate(cfg, tasks, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int64
+	for _, e := range res.Events {
+		if e.Type == trace.EventSchedule {
+			order = append(order, e.JobID)
+		}
+	}
+	if len(order) != 3 || order[1] != 3 || order[2] != 2 {
+		t.Fatalf("schedule order %v, want [1 3 2]", order)
+	}
+}
+
+func TestOutcomeMixCalibration(t *testing.T) {
+	machines := smallPark(50)
+	cfg := DefaultConfig(machines, 48*3600)
+	cfg.MaxRetries = 0 // keep attempt counts clean
+	var tasks []trace.Task
+	s := rng.New(11)
+	for i := 0; i < 4000; i++ {
+		tasks = append(tasks, oneTask(int64(i+1), s.Int64N(40*3600), 1+s.IntN(12), 0.05, 0.05, 300+s.Int64N(1200)))
+	}
+	res, err := Simulate(cfg, tasks, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.Stats.AbnormalFraction()
+	if math.Abs(frac-0.592) > 0.05 {
+		t.Fatalf("abnormal fraction %v, want ~0.592", frac)
+	}
+	ec := res.Stats.EventCounts
+	abn := ec[trace.EventFail] + ec[trace.EventKill] + ec[trace.EventEvict] + ec[trace.EventLost]
+	if abn == 0 {
+		t.Fatal("no abnormal events")
+	}
+	failShare := float64(ec[trace.EventFail]) / float64(abn)
+	killShare := float64(ec[trace.EventKill]) / float64(abn)
+	if math.Abs(failShare-0.50) > 0.06 {
+		t.Fatalf("fail share of abnormal %v, want ~0.50", failShare)
+	}
+	if math.Abs(killShare-0.307) > 0.06 {
+		t.Fatalf("kill share of abnormal %v, want ~0.307", killShare)
+	}
+}
+
+func TestRetriesResubmit(t *testing.T) {
+	cfg := DefaultConfig(smallPark(1), 40000)
+	cfg.Outcomes = OutcomeMix{Fail: 1} // every attempt fails
+	cfg.FailRetryP = 1
+	cfg.MaxRetries = 3
+	tasks := []trace.Task{oneTask(1, 0, 5, 0.1, 0.1, 600)}
+	res, err := Simulate(cfg, tasks, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original + 3 retries = 4 submits, 4 schedules, 4 fails.
+	if got := res.Stats.EventCounts[trace.EventSubmit]; got != 4 {
+		t.Fatalf("submits %d, want 4", got)
+	}
+	if got := res.Stats.EventCounts[trace.EventFail]; got != 4 {
+		t.Fatalf("fails %d, want 4", got)
+	}
+	tr := &trace.Trace{Events: res.Events}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("resubmission stream invalid: %v", err)
+	}
+}
+
+func TestEmitUsage(t *testing.T) {
+	cfg := DefaultConfig(smallPark(1), 3600)
+	cfg.Outcomes = alwaysFinish()
+	cfg.EmitUsage = true
+	tasks := []trace.Task{oneTask(1, 0, 5, 0.5, 0.4, 900)}
+	res, err := Simulate(cfg, tasks, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Usage) != 1 {
+		t.Fatalf("usage samples %d", len(res.Usage))
+	}
+	u := res.Usage[0]
+	if u.Start != 0 || u.End != 900 || u.MemAssigned != 0.4 {
+		t.Fatalf("usage %+v", u)
+	}
+	if u.CPU <= 0 || u.MemUsed <= 0 || u.MemUsed > 0.4 {
+		t.Fatalf("usage resources %+v", u)
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	for _, pol := range []Policy{Balanced, BestFit, Random} {
+		cfg := DefaultConfig(smallPark(10), 4*3600)
+		cfg.Placement = pol
+		cfg.Outcomes = alwaysFinish()
+		var tasks []trace.Task
+		s := rng.New(15)
+		for i := 0; i < 300; i++ {
+			tasks = append(tasks, oneTask(int64(i+1), s.Int64N(3*3600), 5, 0.1, 0.1, 600))
+		}
+		res, err := Simulate(cfg, tasks, rng.New(16))
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.Stats.Attempts != 300 {
+			t.Fatalf("%v: attempts %d, want 300", pol, res.Stats.Attempts)
+		}
+	}
+	if Balanced.String() != "balanced" || BestFit.String() != "best-fit" || Random.String() != "random" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestBalancedSpreadsLoad(t *testing.T) {
+	// With Balanced placement, simultaneous tasks land on distinct
+	// machines; with BestFit they pack onto few.
+	mkTasks := func() []trace.Task {
+		var tasks []trace.Task
+		for i := 0; i < 8; i++ {
+			tasks = append(tasks, oneTask(int64(i+1), 0, 5, 0.1, 0.1, 3000))
+		}
+		return tasks
+	}
+	usedMachines := func(pol Policy) int {
+		cfg := DefaultConfig(smallPark(8), 3600)
+		cfg.Placement = pol
+		cfg.Outcomes = alwaysFinish()
+		res, err := Simulate(cfg, mkTasks(), rng.New(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := map[int]bool{}
+		for _, e := range res.Events {
+			if e.Type == trace.EventSchedule {
+				used[e.Machine] = true
+			}
+		}
+		return len(used)
+	}
+	if b := usedMachines(Balanced); b != 8 {
+		t.Errorf("balanced used %d machines, want 8", b)
+	}
+	if bf := usedMachines(BestFit); bf != 1 {
+		t.Errorf("best-fit used %d machines, want 1", bf)
+	}
+}
+
+func TestGoogleWorkloadEndToEnd(t *testing.T) {
+	// A scaled end-to-end run: Google workload on a Google park, with
+	// shape checks that feed the Section IV analyses.
+	machines := synth.GoogleMachines(30, rng.New(18))
+	horizon := int64(12 * 3600)
+	cfg := DefaultConfig(machines, horizon)
+	gcfg := synth.ScaledGoogleConfig(len(machines), horizon)
+	tasks := synth.GenerateGoogleTasks(gcfg, rng.New(19))
+	res, err := Simulate(cfg, tasks, rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Attempts == 0 {
+		t.Fatal("nothing scheduled")
+	}
+
+	// Pending stays near zero outside bootstrap (Section IV: "the
+	// pending-queue state is always 0").
+	tail := res.Pending.Values[len(res.Pending.Values)/4:]
+	if stats.Quantile(tail, 0.9) > 50 {
+		t.Errorf("pending queue unexpectedly deep: p90=%v", stats.Quantile(tail, 0.9))
+	}
+
+	// Memory relative usage should exceed CPU relative usage
+	// (Fig 11 vs Fig 12: CPU ~35%, memory ~60%).
+	var cpuLevels, memLevels []float64
+	for _, m := range res.Machines {
+		cpu := m.CPU()
+		mem := m.Mem()
+		for i := range cpu.Values {
+			cpuLevels = append(cpuLevels, cpu.Values[i]/m.Machine.CPU)
+			memLevels = append(memLevels, mem.Values[i]/m.Machine.Memory)
+		}
+	}
+	cpuMean, memMean := stats.Mean(cpuLevels), stats.Mean(memLevels)
+	if cpuMean <= 0 || memMean <= 0 {
+		t.Fatal("no load recorded")
+	}
+	if memMean < cpuMean {
+		t.Errorf("memory usage %v should exceed CPU usage %v", memMean, cpuMean)
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	machines := smallPark(5)
+	cfg := DefaultConfig(machines, 6*3600)
+	gcfg := synth.DefaultGoogleConfig(cfg.Horizon)
+	gcfg.JobsPerHour = 10
+	gcfg.Arrival.PerHour = 10
+	run := func() *Result {
+		tasks := synth.GenerateGoogleTasks(gcfg, rng.New(21))
+		res, err := Simulate(cfg, tasks, rng.New(22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

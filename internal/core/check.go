@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/report"
+)
+
+// Expectation is one machine-checkable claim from the paper: the
+// metric an experiment measures, the paper's value, and the acceptance
+// band within which the reproduction (at full scale) is considered to
+// match the paper's shape.
+type Expectation struct {
+	Experiment string
+	Metric     string
+	Paper      float64 // the paper's reported value
+	Lo, Hi     float64 // acceptance band
+	Note       string
+}
+
+// Expectations lists the paper's quantitative claims with their
+// acceptance bands. Bands are deliberately wide where the statistic is
+// scale- or sampling-sensitive (see EXPERIMENTS.md).
+func Expectations() []Expectation {
+	return []Expectation{
+		{"fig2", "low_priority_job_share", 0.85, 0.60, 0.95, "most jobs at priorities 1-4"},
+		{"fig3", "google_P_len_lt_1000s", 0.80, 0.60, 0.92, ">80% of Google jobs under 1000s"},
+		{"fig3", "gridP1000_AuverGrid", 0.05, 0, 0.30, "most Grid jobs above 2000s"},
+		{"fig4", "google_joint_items", 6, 3, 15, "Google task lengths ~6/94"},
+		{"fig4", "auvergrid_joint_items", 24, 15, 35, "AuverGrid ~24/76"},
+		{"fig4", "google_max_task_days", 29, 20, 30, "longest Google task ~29 days"},
+		{"fig4", "auvergrid_max_task_days", 18, 12, 19, "longest AuverGrid task ~18 days"},
+		{"table1", "Google_avg", 552, 450, 660, "552 jobs/hour"},
+		{"table1", "Google_fairness", 0.94, 0.85, 0.99, "fairness 0.94"},
+		{"table1", "AuverGrid_fairness", 0.35, 0.15, 0.55, "fairness 0.35"},
+		{"table1", "SHARCNET_fairness", 0.04, 0.005, 0.20, "fairness 0.04"},
+		{"table1", "ANL_avg", 10, 4, 20, "10 jobs/hour"},
+		{"fig6", "google_median_cpu", 0.5, 0, 1, "Google jobs at most one processor"},
+		{"fig6", "median_cpu_AuverGrid", 0.9, 0.6, 1.1, "AuverGrid serial, fully busy"},
+		{"fig7", "cpu_maxload_at_capacity_cap025", 0.80, 0.50, 1, ">80% of low-CPU hosts max at capacity"},
+		{"fig7", "cpu_maxload_at_capacity_cap05", 0.70, 0.40, 1, ">70% of mid-CPU hosts max at capacity"},
+		{"fig7", "mem_mean_max_over_capacity", 0.80, 0.60, 0.95, "max memory ~80% of capacity"},
+		{"fig7", "assigned_mean_max_over_capacity", 0.90, 0.75, 1, "assigned ~90% of capacity"},
+		{"fig8", "abnormal_fraction", 0.592, 0.50, 0.68, "59.2% abnormal completions"},
+		{"fig8", "fail_share_of_abnormal", 0.50, 0.40, 0.60, "fail = 50% of abnormal"},
+		{"fig8", "kill_share_of_abnormal", 0.307, 0.22, 0.40, "kill = 30.7% of abnormal"},
+		{"fig8", "mean_pending_per_host", 0, 0, 0.5, "pending queue ~0"},
+		{"fig9", "joint_items_[10,19]", 11, 5, 30, "skewed queue-state durations"},
+		{"fig11", "mean_pct_all", 35, 25, 45, "CPU usage ~35%"},
+		{"fig11", "mean_pct_high", 20, 10, 30, "high-priority CPU ~20%"},
+		{"fig12", "mean_pct_all", 60, 45, 70, "memory usage ~60%"},
+		{"fig12", "mean_pct_high", 50, 30, 60, "high-priority memory ~50%"},
+		{"fig13", "noise_ratio_google_over_auvergrid", 20, 8, 45, "Google noise ~20x Grid"},
+		{"fig13", "auvergrid_autocorr", 1.0, 0.90, 1.0, "Grid load stable for hours"},
+		{"fig13", "google_autocorr", 0, -0.5, 0.90, "Google load far less stable"},
+	}
+}
+
+// CheckResult is the verdict on one expectation.
+type CheckResult struct {
+	Expectation
+	Measured float64
+	Found    bool
+	Pass     bool
+}
+
+// Check compares experiment results against the expectations. Results
+// missing a metric are reported as not found (and failing).
+func Check(results []*Result) []CheckResult {
+	byID := make(map[string]*Result, len(results))
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	var out []CheckResult
+	for _, e := range Expectations() {
+		cr := CheckResult{Expectation: e, Measured: math.NaN()}
+		if r, ok := byID[e.Experiment]; ok {
+			if v, ok := r.Metrics[e.Metric]; ok {
+				cr.Measured = v
+				cr.Found = true
+				cr.Pass = v >= e.Lo && v <= e.Hi
+			}
+		}
+		out = append(out, cr)
+	}
+	return out
+}
+
+// Passed counts passing checks.
+func Passed(crs []CheckResult) (pass, total int) {
+	for _, c := range crs {
+		if c.Pass {
+			pass++
+		}
+	}
+	return pass, len(crs)
+}
+
+// RenderChecks writes the verdict table.
+func RenderChecks(w io.Writer, crs []CheckResult) error {
+	tbl := &report.Table{
+		ID:      "check",
+		Title:   "Paper-vs-measured acceptance checks",
+		Columns: []string{"experiment", "metric", "paper", "band", "measured", "verdict"},
+	}
+	for _, c := range crs {
+		measured := "missing"
+		if c.Found {
+			measured = report.F(c.Measured)
+		}
+		verdict := "FAIL"
+		if c.Pass {
+			verdict = "ok"
+		}
+		tbl.AddRow(c.Experiment, c.Metric, report.F(c.Paper),
+			fmt.Sprintf("[%s, %s]", report.F(c.Lo), report.F(c.Hi)),
+			measured, verdict)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	pass, total := Passed(crs)
+	_, err := fmt.Fprintf(w, "%d/%d checks passed\n", pass, total)
+	return err
+}

@@ -1,0 +1,214 @@
+// Package core is the experiment layer of the reproduction: one
+// constructor per table and figure of the paper, a shared context that
+// memoizes the expensive artifacts (the synthetic workloads and the
+// cluster simulation), and a registry that regenerates everything.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Config scales the reproduction. The paper's trace covers 12,500
+// machines for a month; the defaults reproduce every statistic at a
+// laptop-friendly scale (see DESIGN.md on why the shapes survive
+// scaling).
+type Config struct {
+	Seed uint64
+
+	// Google cluster simulation (Section IV).
+	Machines   int   // park size
+	SimHorizon int64 // seconds simulated
+
+	// Work-load analyses (Section III). The Google workload is
+	// generated at the full 552 jobs/hour over this horizon; Grid
+	// workloads use the same horizon.
+	WorkloadHorizon int64
+
+	// WorkloadMaxTasksPerJob caps the map-reduce fan-out in the
+	// workload-analysis trace to bound memory; it does not affect the
+	// task-length or job-length distributions.
+	WorkloadMaxTasksPerJob int
+
+	// SampleMachines bounds how many machines the Fig 10 snapshot and
+	// Fig 13 comparison export.
+	SampleMachines int
+}
+
+// DefaultConfig is the full reproduction scale (about a minute of CPU
+// and a few hundred MB).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		Machines:               200,
+		SimHorizon:             14 * 86400,
+		WorkloadHorizon:        7 * 86400,
+		WorkloadMaxTasksPerJob: 150,
+		SampleMachines:         50,
+	}
+}
+
+// QuickConfig is a fast scale for tests and benchmarks (seconds).
+func QuickConfig() Config {
+	return Config{
+		Seed:                   1,
+		Machines:               40,
+		SimHorizon:             2 * 86400,
+		WorkloadHorizon:        1 * 86400,
+		WorkloadMaxTasksPerJob: 80,
+		SampleMachines:         10,
+	}
+}
+
+// Context memoizes the heavy artifacts shared by the experiments so
+// the full reproduction generates each workload and runs the simulator
+// exactly once.
+type Context struct {
+	Cfg Config
+
+	mu          sync.Mutex
+	googleTasks []trace.Task
+	googleJobs  []trace.Job
+	sim         *cluster.Result
+	gridJobs    map[string][]trace.Job
+}
+
+// NewContext returns an empty context for the given configuration.
+func NewContext(cfg Config) *Context {
+	return &Context{Cfg: cfg, gridJobs: make(map[string][]trace.Job)}
+}
+
+// GoogleTasks returns the workload-analysis task trace (full
+// submission rate, Section III).
+func (c *Context) GoogleTasks() []trace.Task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.googleTasks == nil {
+		gcfg := synth.DefaultGoogleConfig(c.Cfg.WorkloadHorizon)
+		gcfg.MaxTasksPerJob = c.Cfg.WorkloadMaxTasksPerJob
+		c.googleTasks = synth.GenerateGoogleTasks(gcfg, rng.New(c.Cfg.Seed).Child("google-workload"))
+	}
+	return c.googleTasks
+}
+
+// GoogleJobs returns the per-job summaries of GoogleTasks.
+func (c *Context) GoogleJobs() []trace.Job {
+	tasks := c.GoogleTasks()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.googleJobs == nil {
+		c.googleJobs = synth.GoogleJobsFromTasks(tasks)
+	}
+	return c.googleJobs
+}
+
+// Sim returns the memoized cluster simulation (scaled submission rate,
+// Section IV).
+func (c *Context) Sim() (*cluster.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sim == nil {
+		seed := rng.New(c.Cfg.Seed)
+		machines := synth.GoogleMachines(c.Cfg.Machines, seed.Child("machines"))
+		gcfg := synth.ScaledGoogleConfig(c.Cfg.Machines, c.Cfg.SimHorizon)
+		tasks := synth.GenerateGoogleTasks(gcfg, seed.Child("google-sim"))
+		cfg := cluster.DefaultConfig(machines, c.Cfg.SimHorizon)
+		res, err := cluster.Simulate(cfg, tasks, seed.Child("sim"))
+		if err != nil {
+			return nil, fmt.Errorf("core: simulate: %w", err)
+		}
+		c.sim = res
+	}
+	return c.sim, nil
+}
+
+// GridJobs returns the memoized job stream of the named Grid system
+// over the workload horizon.
+func (c *Context) GridJobs(name string) ([]trace.Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if jobs, ok := c.gridJobs[name]; ok {
+		return jobs, nil
+	}
+	sys, err := synth.SystemByName(name)
+	if err != nil {
+		return nil, err
+	}
+	jobs := sys.Generate(c.Cfg.WorkloadHorizon, rng.New(c.Cfg.Seed).Child("grid-"+name))
+	c.gridJobs[name] = jobs
+	return jobs, nil
+}
+
+// Result is one regenerated paper artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Series []*report.Series
+	// Metrics records the measured quantities compared against the
+	// paper in EXPERIMENTS.md.
+	Metrics map[string]float64
+	Notes   []string
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: make(map[string]float64)}
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Context) (*Result, error)
+}
+
+// Experiments lists every artifact of the paper's evaluation in paper
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig2", "Fig 2: jobs and tasks per priority", Fig2},
+		{"fig3", "Fig 3: CDF of job length, Google vs Grid", Fig3},
+		{"fig4", "Fig 4: mass-count disparity of task lengths", Fig4},
+		{"fig5", "Fig 5: CDF of job submission intervals", Fig5},
+		{"table1", "Table I: jobs submitted per hour", Table1},
+		{"fig6", "Fig 6: per-job CPU and memory usage", Fig6},
+		{"fig7", "Fig 7: distribution of maximum host load", Fig7},
+		{"fig8", "Fig 8: task events and queue state on one host", Fig8},
+		{"fig9", "Fig 9: mass-count of unchanged queue-state durations", Fig9},
+		{"fig10", "Fig 10: snapshot of machine usage levels", Fig10},
+		{"table2", "Table II: unchanged CPU usage-level durations", Table2},
+		{"table3", "Table III: unchanged memory usage-level durations", Table3},
+		{"fig11", "Fig 11: mass-count disparity of CPU usage", Fig11},
+		{"fig12", "Fig 12: mass-count disparity of memory usage", Fig12},
+		{"fig13", "Fig 13: host load comparison Google vs Grid", Fig13},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment against one shared context.
+func RunAll(ctx *Context) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Experiments() {
+		r, err := e.Run(ctx)
+		if err != nil {
+			return out, fmt.Errorf("core: %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

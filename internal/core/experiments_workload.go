@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// gridOrder is the Table I / Fig 3 / Fig 5 system order.
+var gridOrder = []string{
+	"AuverGrid", "NorduGrid", "SHARCNET", "ANL", "RICC", "MetaCentrum", "LLNL-Atlas",
+}
+
+// xGrid builds n evenly spaced points over [0, hi].
+func xGrid(hi float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = hi * float64(i) / float64(n-1)
+	}
+	return xs
+}
+
+// evalCDF evaluates an ECDF over the grid.
+func evalCDF(values []float64, xs []float64) []float64 {
+	e := stats.NewECDF(values)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = e.Eval(x)
+	}
+	return out
+}
+
+// Fig2 reproduces the priority histograms: number of jobs and tasks
+// per priority level, with the paper's low/middle/high clustering.
+func Fig2(ctx *Context) (*Result, error) {
+	res := newResult("fig2", "Number of jobs and tasks per priority")
+	jobs := ctx.GoogleJobs()
+	tasks := ctx.GoogleTasks()
+	jc, tc := workload.PriorityHistogram(jobs, tasks)
+
+	tbl := &report.Table{
+		ID:      "fig2",
+		Title:   "Fig 2: jobs and tasks by priority (synthetic Google trace)",
+		Columns: []string{"priority", "group", "jobs", "tasks"},
+	}
+	xs := make([]float64, 0, trace.MaxPriority)
+	jobsY := make([]float64, 0, trace.MaxPriority)
+	tasksY := make([]float64, 0, trace.MaxPriority)
+	for p := trace.MinPriority; p <= trace.MaxPriority; p++ {
+		tbl.AddRow(fmt.Sprintf("%d", p), trace.GroupOf(p).String(),
+			fmt.Sprintf("%d", jc[p]), fmt.Sprintf("%d", tc[p]))
+		xs = append(xs, float64(p))
+		jobsY = append(jobsY, float64(jc[p]))
+		tasksY = append(tasksY, float64(tc[p]))
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	s := report.NewSeries("fig2", "Jobs and tasks per priority", "priority")
+	s.X = xs
+	s.Add("jobs", jobsY)
+	s.Add("tasks", tasksY)
+	res.Series = append(res.Series, s)
+
+	shares := workload.GroupShares(jobs)
+	res.Metrics["low_priority_job_share"] = shares[0]
+	res.Metrics["middle_priority_job_share"] = shares[1]
+	res.Metrics["high_priority_job_share"] = shares[2]
+	res.Notes = append(res.Notes,
+		"paper: three visible clusters; most jobs at priorities 1-4")
+	return res, nil
+}
+
+// Fig3 reproduces the job-length CDFs of Google and the seven Grid
+// systems over the paper's 0-10000 s axis.
+func Fig3(ctx *Context) (*Result, error) {
+	res := newResult("fig3", "CDF of job length")
+	xs := xGrid(10000, 201)
+	s := report.NewSeries("fig3", "CDF of job length (s)", "seconds")
+	s.X = xs
+
+	gLens := workload.JobLengths(ctx.GoogleJobs())
+	s.Add("Google", evalCDF(gLens, xs))
+	res.Metrics["google_P_len_lt_1000s"] = stats.NewECDF(gLens).Eval(1000)
+
+	for _, name := range gridOrder {
+		jobs, err := ctx.GridJobs(name)
+		if err != nil {
+			return nil, err
+		}
+		lens := workload.JobLengths(jobs)
+		s.Add(name, evalCDF(lens, xs))
+		res.Metrics["gridP1000_"+name] = stats.NewECDF(lens).Eval(1000)
+	}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes,
+		"paper: >80% of Google jobs under 1000 s; most Grid jobs above 2000 s")
+	return res, nil
+}
+
+// Fig4 reproduces the mass-count disparity of task lengths for Google
+// and AuverGrid (whose jobs are its tasks).
+func Fig4(ctx *Context) (*Result, error) {
+	res := newResult("fig4", "Mass-count disparity of task lengths")
+	const day = 86400.0
+
+	emit := func(id, name string, lens []float64) workload.MassCountSummary {
+		mc := stats.NewMassCount(lens)
+		sum := workload.SummarizeMassCount(lens)
+		xsRaw, count, mass := mc.Curve(300)
+		xs := make([]float64, len(xsRaw))
+		for i, x := range xsRaw {
+			xs[i] = x / day
+		}
+		s := report.NewSeries(id, name+" task-length mass-count (days)", "days")
+		s.X = xs
+		s.Add("count", count)
+		s.Add("mass", mass)
+		res.Series = append(res.Series, s)
+		return sum
+	}
+
+	g := emit("fig4a", "Google", workload.TaskLengths(ctx.GoogleTasks()))
+	agJobs, err := ctx.GridJobs("AuverGrid")
+	if err != nil {
+		return nil, err
+	}
+	ag := emit("fig4b", "AuverGrid", workload.JobLengths(agJobs))
+
+	tbl := &report.Table{
+		ID:      "fig4",
+		Title:   "Fig 4: task-length mass-count summary (paper: Google 6/94, mmdis 23.19h; AuverGrid 24/76)",
+		Columns: []string{"system", "joint ratio", "mm-distance (h)", "mean (h)", "max (d)"},
+	}
+	for _, row := range []struct {
+		name string
+		s    workload.MassCountSummary
+	}{{"Google", g}, {"AuverGrid", ag}} {
+		tbl.AddRow(row.name,
+			fmt.Sprintf("%.0f/%.0f", row.s.JointItems, row.s.JointMass),
+			report.F2(row.s.MMDistance/3600),
+			report.F2(row.s.Mean/3600),
+			report.F2(row.s.Max/86400))
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Metrics["google_joint_items"] = g.JointItems
+	res.Metrics["google_mmdis_hours"] = g.MMDistance / 3600
+	res.Metrics["google_mean_task_hours"] = g.Mean / 3600
+	res.Metrics["google_max_task_days"] = g.Max / 86400
+	res.Metrics["auvergrid_joint_items"] = ag.JointItems
+	res.Metrics["auvergrid_mean_task_hours"] = ag.Mean / 3600
+	res.Metrics["auvergrid_max_task_days"] = ag.Max / 86400
+	return res, nil
+}
+
+// Fig5 reproduces the submission-interval CDFs over the paper's
+// 0-2000 s axis.
+func Fig5(ctx *Context) (*Result, error) {
+	res := newResult("fig5", "CDF of job submission interval")
+	xs := xGrid(2000, 201)
+	s := report.NewSeries("fig5", "CDF of submission interval (s)", "seconds")
+	s.X = xs
+
+	gInt := workload.SubmissionIntervals(ctx.GoogleJobs())
+	s.Add("Google", evalCDF(gInt, xs))
+	res.Metrics["google_median_interval_s"] = stats.Quantile(gInt, 0.5)
+
+	for _, name := range gridOrder {
+		jobs, err := ctx.GridJobs(name)
+		if err != nil {
+			return nil, err
+		}
+		iv := workload.SubmissionIntervals(jobs)
+		s.Add(name, evalCDF(iv, xs))
+		if name == "AuverGrid" {
+			res.Metrics["auvergrid_median_interval_s"] = stats.Quantile(iv, 0.5)
+		}
+	}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes,
+		"paper: Google intervals far shorter than all Grid systems")
+	return res, nil
+}
+
+// Table1 reproduces the per-hour submission statistics and fairness.
+func Table1(ctx *Context) (*Result, error) {
+	res := newResult("table1", "Number of jobs submitted per hour")
+	tbl := &report.Table{
+		ID:      "table1",
+		Title:   "Table I: jobs submitted per hour (paper: Google 1421/552/36, fairness 0.94)",
+		Columns: []string{"system", "max", "avg", "min", "fairness"},
+	}
+	addRow := func(name string, jobs []trace.Job) {
+		rs := workload.SubmissionRates(jobs, ctx.Cfg.WorkloadHorizon)
+		tbl.AddRow(name, report.I(rs.Max), report.F(rs.Avg), report.I(rs.Min), report.F2(rs.Fairness))
+		res.Metrics[name+"_max"] = rs.Max
+		res.Metrics[name+"_avg"] = rs.Avg
+		res.Metrics[name+"_min"] = rs.Min
+		res.Metrics[name+"_fairness"] = rs.Fairness
+	}
+	addRow("Google", ctx.GoogleJobs())
+	for _, name := range gridOrder {
+		jobs, err := ctx.GridJobs(name)
+		if err != nil {
+			return nil, err
+		}
+		addRow(name, jobs)
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}
+
+// Fig6 reproduces the per-job CPU usage (Formula 4) and memory usage
+// CDFs.
+func Fig6(ctx *Context) (*Result, error) {
+	res := newResult("fig6", "Per-job CPU and memory usage")
+
+	// Panel (a): CPU usage, 0-5 processors.
+	xsCPU := xGrid(5, 201)
+	sa := report.NewSeries("fig6a", "CDF of per-job CPU utilisation (Formula 4)", "processors")
+	sa.X = xsCPU
+	gJobs := ctx.GoogleJobs()
+	gCPU := workload.CPUUsage(gJobs)
+	sa.Add("Google", evalCDF(gCPU, xsCPU))
+	res.Metrics["google_median_cpu"] = stats.Quantile(gCPU, 0.5)
+	for _, name := range []string{"AuverGrid", "DAS-2"} {
+		jobs, err := ctx.GridJobs(name)
+		if err != nil {
+			return nil, err
+		}
+		cpu := workload.CPUUsage(jobs)
+		sa.Add(name, evalCDF(cpu, xsCPU))
+		res.Metrics["median_cpu_"+name] = stats.Quantile(cpu, 0.5)
+	}
+	res.Series = append(res.Series, sa)
+
+	// Panel (b): memory usage in MB, 0-1000.
+	xsMem := xGrid(1000, 201)
+	sb := report.NewSeries("fig6b", "CDF of per-job memory usage (MB)", "MB")
+	sb.X = xsMem
+	g32 := workload.MemoryUsageMB(gJobs, 32)
+	g64 := workload.MemoryUsageMB(gJobs, 64)
+	sb.Add("Google (32GB)", evalCDF(g32, xsMem))
+	sb.Add("Google (64GB)", evalCDF(g64, xsMem))
+	res.Metrics["google32_median_mem_mb"] = stats.Quantile(g32, 0.5)
+	for _, name := range []string{"AuverGrid", "SHARCNET", "DAS-2"} {
+		jobs, err := ctx.GridJobs(name)
+		if err != nil {
+			return nil, err
+		}
+		mem := workload.MemoryUsageMB(jobs, 0)
+		sb.Add(name, evalCDF(mem, xsMem))
+		if name == "AuverGrid" {
+			res.Metrics["auvergrid_median_mem_mb"] = stats.Quantile(mem, 0.5)
+		}
+	}
+	res.Series = append(res.Series, sb)
+	res.Notes = append(res.Notes,
+		"paper: Google jobs mostly hold one processor; Grid jobs parallel; Google memory smaller")
+	return res, nil
+}

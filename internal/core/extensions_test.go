@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 4 {
+		t.Fatalf("got %d extensions", len(exts))
+	}
+	for _, e := range exts {
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("extension %s incomplete", e.ID)
+		}
+		if _, err := FindAny(e.ID); err != nil {
+			t.Fatalf("FindAny(%s): %v", e.ID, err)
+		}
+	}
+	// FindAny still resolves paper experiments and rejects unknowns.
+	if _, err := FindAny("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindAny("fig99"); err == nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestExtPeriodicity(t *testing.T) {
+	r, err := ExtPeriodicity(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatal("no table")
+	}
+	// Every system must produce a period and strength.
+	for _, name := range append([]string{"Google"}, gridOrder...) {
+		if _, ok := r.Metrics["period_h_"+name]; !ok {
+			t.Errorf("missing period for %s", name)
+		}
+	}
+}
+
+func TestExtPrediction(t *testing.T) {
+	r, err := ExtPrediction(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.Metrics["error_ratio"]
+	if ratio < 3 {
+		t.Errorf("google/grid prediction error ratio %v, want >> 1", ratio)
+	}
+	if r.Metrics["google_best_mae"] <= 0 || r.Metrics["auvergrid_best_mae"] <= 0 {
+		t.Error("best MAEs missing")
+	}
+}
+
+func TestExtRobustness(t *testing.T) {
+	r, err := ExtRobustness(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["fairness_mean"] < 0.8 {
+		t.Errorf("mean fairness %v across seeds, want ~0.94", r.Metrics["fairness_mean"])
+	}
+	if r.Metrics["fairness_std"] > 0.1 {
+		t.Errorf("fairness std %v across seeds, want stable", r.Metrics["fairness_std"])
+	}
+	if r.Metrics["joint_items_std"] > 6 {
+		t.Errorf("joint items std %v, want stable", r.Metrics["joint_items_std"])
+	}
+}
+
+func TestExtQueueing(t *testing.T) {
+	r, err := ExtQueueing(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := r.Metrics["mean_wait_min_fcfs"]
+	easy := r.Metrics["mean_wait_min_easy"]
+	if fcfs < 0 || easy < 0 {
+		t.Fatalf("negative waits: %v %v", fcfs, easy)
+	}
+	if easy > fcfs*1.1 {
+		t.Errorf("backfill mean wait %v should not exceed FCFS %v", easy, fcfs)
+	}
+}

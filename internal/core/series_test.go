@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCDFSeriesMonotone: every CDF figure's exported series must be a
+// valid CDF — non-decreasing and within [0, 1].
+func TestCDFSeriesMonotone(t *testing.T) {
+	for _, id := range []string{"fig3", "fig5", "fig6"} {
+		exp, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := exp.Run(sharedCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range r.Series {
+			for _, col := range s.YOrder {
+				ys := s.Y[col]
+				for i, v := range ys {
+					if v < -1e-9 || v > 1+1e-9 {
+						t.Fatalf("%s/%s[%s][%d] = %v out of [0,1]", id, s.ID, col, i, v)
+					}
+					if i > 0 && v < ys[i-1]-1e-9 {
+						t.Fatalf("%s/%s[%s] not monotone at %d", id, s.ID, col, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMassCountSeriesShape: count and mass curves are monotone and the
+// mass curve never exceeds the count curve.
+func TestMassCountSeriesShape(t *testing.T) {
+	for _, id := range []string{"fig4", "fig11", "fig12"} {
+		exp, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := exp.Run(sharedCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range r.Series {
+			count, mass := s.Y["count"], s.Y["mass"]
+			if len(count) == 0 || len(count) != len(mass) {
+				t.Fatalf("%s/%s missing curves", id, s.ID)
+			}
+			for i := range count {
+				if mass[i] > count[i]+1e-9 {
+					t.Fatalf("%s/%s mass %v above count %v at %d", id, s.ID, mass[i], count[i], i)
+				}
+				if i > 0 && (count[i] < count[i-1]-1e-9 || mass[i] < mass[i-1]-1e-9) {
+					t.Fatalf("%s/%s curves not monotone at %d", id, s.ID, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFig7PDFSums: each capacity class's PDF sums to ~1 (every machine
+// lands in exactly one bin).
+func TestFig7PDFSums(t *testing.T) {
+	r, err := Fig7(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		for _, col := range s.YOrder {
+			var sum float64
+			for _, v := range s.Y[col] {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s[%s] PDF sums to %v", s.ID, col, sum)
+			}
+		}
+	}
+}
+
+// TestFig10LevelsInRange: exported level traces stay within the five
+// usage bins.
+func TestFig10LevelsInRange(t *testing.T) {
+	r, err := Fig10(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		for _, col := range s.YOrder {
+			if !strings.HasPrefix(col, "machine") {
+				continue
+			}
+			for i, v := range s.Y[col] {
+				if v < 0 || v > 4 || v != math.Trunc(v) {
+					t.Fatalf("%s[%s][%d] = %v not a level index", s.ID, col, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestFig13ZoomWindows: the zoom panels cover the advertised fractions
+// of the horizon.
+func TestFig13ZoomWindows(t *testing.T) {
+	r, err := Fig13(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizonDays := float64(sharedCtx.Cfg.SimHorizon) / 86400
+	for _, s := range r.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("%s empty", s.ID)
+		}
+		lo, hi := s.X[0], s.X[len(s.X)-1]
+		switch {
+		case strings.HasSuffix(s.ID, "-zoom5d"):
+			if lo < horizonDays*0.30 || hi > horizonDays*0.55 {
+				t.Fatalf("%s window [%v,%v] outside the 1/3..1/2 band", s.ID, lo, hi)
+			}
+		case strings.HasSuffix(s.ID, "-zoom1d"):
+			if hi-lo > horizonDays*0.08 {
+				t.Fatalf("%s window [%v,%v] too wide for a 1-day zoom", s.ID, lo, hi)
+			}
+		default:
+			if lo > 0.01 || hi < horizonDays*0.9 {
+				t.Fatalf("%s full window [%v,%v] does not span the horizon", s.ID, lo, hi)
+			}
+		}
+	}
+}

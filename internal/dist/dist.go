@@ -1,0 +1,404 @@
+// Package dist implements the probability distributions used by the
+// synthetic workload models: exponential, Pareto (plain and bounded),
+// log-normal, Weibull, uniform, hyperexponential, Zipf, empirical
+// (weighted) and arbitrary mixtures.
+//
+// Each distribution exposes Sample(*rng.Stream) plus, where a closed
+// form exists, Mean and Quantile. Samplers use inverse-transform or
+// standard stdlib primitives so every draw is reproducible from the
+// stream seed alone.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Dist is a one-dimensional continuous (or discretised) distribution.
+type Dist interface {
+	// Sample draws one value using the given stream.
+	Sample(s *rng.Stream) float64
+	// Mean returns the analytic mean, or NaN if it does not exist.
+	Mean() float64
+}
+
+// Quantiler is implemented by distributions with an invertible CDF.
+type Quantiler interface {
+	// Quantile returns the value x with P(X <= x) = p, for p in [0,1].
+	Quantile(p float64) float64
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample draws a uniform deviate.
+func (u Uniform) Sample(s *rng.Stream) float64 { return s.Range(u.Lo, u.Hi) }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Quantile returns Lo + p*(Hi-Lo).
+func (u Uniform) Quantile(p float64) float64 { return u.Lo + p*(u.Hi-u.Lo) }
+
+// ---------------------------------------------------------------------------
+// Exponential
+
+// Exponential is the exponential distribution with the given Rate (λ).
+type Exponential struct{ Rate float64 }
+
+// Sample draws an exponential deviate with mean 1/Rate.
+func (e Exponential) Sample(s *rng.Stream) float64 { return s.ExpFloat64() / e.Rate }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Quantile returns -ln(1-p)/Rate.
+func (e Exponential) Quantile(p float64) float64 {
+	return -math.Log1p(-p) / e.Rate
+}
+
+// ---------------------------------------------------------------------------
+// Pareto
+
+// Pareto is the Pareto (type I) distribution with scale Xm > 0 and
+// shape Alpha > 0. Heavy-tailed; the mean is infinite for Alpha <= 1.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample draws a Pareto deviate by inverse transform.
+func (p Pareto) Sample(s *rng.Stream) float64 {
+	u := 1 - s.Float64() // in (0, 1]
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean returns α·xm/(α−1) for α > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Quantile returns xm/(1−p)^{1/α}.
+func (p Pareto) Quantile(q float64) float64 {
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+// ---------------------------------------------------------------------------
+// BoundedPareto
+
+// BoundedPareto is the Pareto distribution truncated to [L, H].
+// It is the standard heavy-tail model for task lengths with a finite
+// maximum (the Google trace spans one month, so lengths are bounded).
+type BoundedPareto struct {
+	L, H  float64
+	Alpha float64
+}
+
+// Sample draws by inverse transform of the truncated CDF.
+func (b BoundedPareto) Sample(s *rng.Stream) float64 {
+	u := s.Float64()
+	la := math.Pow(b.L, b.Alpha)
+	ha := math.Pow(b.H, b.Alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/b.Alpha)
+	if x < b.L {
+		return b.L
+	}
+	if x > b.H {
+		return b.H
+	}
+	return x
+}
+
+// Mean returns the analytic mean of the truncated distribution.
+func (b BoundedPareto) Mean() float64 {
+	a := b.Alpha
+	if a == 1 {
+		return b.L * b.H / (b.H - b.L) * math.Log(b.H/b.L)
+	}
+	la := math.Pow(b.L, a)
+	return la / (1 - math.Pow(b.L/b.H, a)) * (a / (a - 1)) *
+		(1/math.Pow(b.L, a-1) - 1/math.Pow(b.H, a-1))
+}
+
+// Quantile returns the inverse CDF at p.
+func (b BoundedPareto) Quantile(p float64) float64 {
+	la := math.Pow(b.L, b.Alpha)
+	ha := math.Pow(b.H, b.Alpha)
+	x := math.Pow(-(p*ha-p*la-ha)/(ha*la), -1/b.Alpha)
+	return math.Min(math.Max(x, b.L), b.H)
+}
+
+// ---------------------------------------------------------------------------
+// LogNormal
+
+// LogNormal is the log-normal distribution: ln X ~ N(Mu, Sigma²).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample draws exp(Mu + Sigma·Z).
+func (l LogNormal) Sample(s *rng.Stream) float64 {
+	return math.Exp(l.Mu + l.Sigma*s.NormFloat64())
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// ---------------------------------------------------------------------------
+// Weibull
+
+// Weibull is the Weibull distribution with scale Lambda and shape K.
+type Weibull struct{ Lambda, K float64 }
+
+// Sample draws λ·(−ln U)^{1/k}.
+func (w Weibull) Sample(s *rng.Stream) float64 {
+	u := 1 - s.Float64()
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+// Mean returns λ·Γ(1+1/k).
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+// Quantile returns λ·(−ln(1−p))^{1/k}.
+func (w Weibull) Quantile(p float64) float64 {
+	return w.Lambda * math.Pow(-math.Log1p(-p), 1/w.K)
+}
+
+// ---------------------------------------------------------------------------
+// Hyperexponential
+
+// Hyperexponential mixes exponential phases: with probability P[i] the
+// sample is exponential with rate Rates[i]. It models the strongly
+// bimodal "mostly very short, occasionally very long" task lengths.
+type Hyperexponential struct {
+	P     []float64
+	Rates []float64
+}
+
+// Sample picks a phase by weight and draws from it.
+func (h Hyperexponential) Sample(s *rng.Stream) float64 {
+	i := s.Pick(h.P)
+	return s.ExpFloat64() / h.Rates[i]
+}
+
+// Mean returns Σ P[i]/Rates[i] normalised by Σ P[i].
+func (h Hyperexponential) Mean() float64 {
+	var m, tot float64
+	for i, p := range h.P {
+		m += p / h.Rates[i]
+		tot += p
+	}
+	return m / tot
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+
+// Zipf is a discrete Zipf distribution over {1, ..., N} with exponent
+// S >= 0 (S = 0 is uniform). Samples are returned as float64 ranks.
+type Zipf struct {
+	N int
+	S float64
+
+	cdf []float64 // lazily built cumulative weights
+}
+
+// NewZipf precomputes the rank CDF for repeated sampling.
+func NewZipf(n int, s float64) *Zipf {
+	z := &Zipf{N: n, S: s}
+	z.cdf = make([]float64, n)
+	var c float64
+	for k := 1; k <= n; k++ {
+		c += 1 / math.Pow(float64(k), s)
+		z.cdf[k-1] = c
+	}
+	return z
+}
+
+// Sample draws a rank in [1, N].
+func (z *Zipf) Sample(s *rng.Stream) float64 {
+	if z.cdf == nil {
+		*z = *NewZipf(z.N, z.S)
+	}
+	u := s.Float64() * z.cdf[len(z.cdf)-1]
+	// Binary search for the first cumulative weight >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return float64(lo + 1)
+}
+
+// Mean returns the analytic mean of the rank distribution.
+func (z *Zipf) Mean() float64 {
+	var num, den float64
+	for k := 1; k <= z.N; k++ {
+		w := 1 / math.Pow(float64(k), z.S)
+		num += float64(k) * w
+		den += w
+	}
+	return num / den
+}
+
+// ---------------------------------------------------------------------------
+// Empirical
+
+// Empirical samples from a fixed set of values with the given weights.
+// It is used for discrete calibrated quantities such as priorities and
+// machine capacity classes.
+type Empirical struct {
+	Values  []float64
+	Weights []float64
+}
+
+// Sample picks one of Values with probability proportional to Weights.
+func (e Empirical) Sample(s *rng.Stream) float64 {
+	return e.Values[s.Pick(e.Weights)]
+}
+
+// Mean returns the weighted mean of Values.
+func (e Empirical) Mean() float64 {
+	var num, den float64
+	for i, v := range e.Values {
+		num += v * e.Weights[i]
+		den += e.Weights[i]
+	}
+	return num / den
+}
+
+// ---------------------------------------------------------------------------
+// Mixture
+
+// Component is one branch of a Mixture.
+type Component struct {
+	Weight float64
+	Dist   Dist
+}
+
+// Mixture draws from one of its components, chosen by weight. This is
+// the workhorse for the calibrated task-length models, which blend a
+// short-task body with a heavy service tail.
+type Mixture struct {
+	Components []Component
+}
+
+// Sample picks a component and draws from it.
+func (m Mixture) Sample(s *rng.Stream) float64 {
+	weights := make([]float64, len(m.Components))
+	for i, c := range m.Components {
+		weights[i] = c.Weight
+	}
+	return m.Components[s.Pick(weights)].Dist.Sample(s)
+}
+
+// Mean returns the weight-averaged mean of the components.
+func (m Mixture) Mean() float64 {
+	var num, den float64
+	for _, c := range m.Components {
+		num += c.Weight * c.Dist.Mean()
+		den += c.Weight
+	}
+	return num / den
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+// Clamped wraps a distribution and clamps samples into [Lo, Hi].
+type Clamped struct {
+	Dist   Dist
+	Lo, Hi float64
+}
+
+// Sample draws from the wrapped distribution and clamps the result.
+func (c Clamped) Sample(s *rng.Stream) float64 {
+	v := c.Dist.Sample(s)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mean returns the wrapped distribution's mean (unclamped; callers that
+// need the clamped mean should estimate it by sampling).
+func (c Clamped) Mean() float64 { return c.Dist.Mean() }
+
+// Constant always returns Value.
+type Constant struct{ Value float64 }
+
+// Sample returns Value.
+func (c Constant) Sample(*rng.Stream) float64 { return c.Value }
+
+// Mean returns Value.
+func (c Constant) Mean() float64 { return c.Value }
+
+// Quantile returns Value for every p.
+func (c Constant) Quantile(float64) float64 { return c.Value }
+
+// Validate reports configuration errors for the common distributions.
+// It is used by the generators to fail fast on bad calibration tables.
+func Validate(d Dist) error {
+	switch v := d.(type) {
+	case Uniform:
+		if v.Hi < v.Lo {
+			return fmt.Errorf("dist: uniform Hi %v < Lo %v", v.Hi, v.Lo)
+		}
+	case Exponential:
+		if v.Rate <= 0 {
+			return fmt.Errorf("dist: exponential rate %v <= 0", v.Rate)
+		}
+	case Pareto:
+		if v.Xm <= 0 || v.Alpha <= 0 {
+			return fmt.Errorf("dist: pareto xm=%v alpha=%v must be positive", v.Xm, v.Alpha)
+		}
+	case BoundedPareto:
+		if v.L <= 0 || v.H <= v.L || v.Alpha <= 0 {
+			return fmt.Errorf("dist: bounded pareto L=%v H=%v alpha=%v invalid", v.L, v.H, v.Alpha)
+		}
+	case LogNormal:
+		if v.Sigma < 0 {
+			return fmt.Errorf("dist: lognormal sigma %v < 0", v.Sigma)
+		}
+	case Weibull:
+		if v.Lambda <= 0 || v.K <= 0 {
+			return fmt.Errorf("dist: weibull lambda=%v k=%v must be positive", v.Lambda, v.K)
+		}
+	case Hyperexponential:
+		if len(v.P) == 0 || len(v.P) != len(v.Rates) {
+			return fmt.Errorf("dist: hyperexponential needs matching P and Rates")
+		}
+		for _, r := range v.Rates {
+			if r <= 0 {
+				return fmt.Errorf("dist: hyperexponential rate %v <= 0", r)
+			}
+		}
+	case Empirical:
+		if len(v.Values) == 0 || len(v.Values) != len(v.Weights) {
+			return fmt.Errorf("dist: empirical needs matching Values and Weights")
+		}
+	case Mixture:
+		if len(v.Components) == 0 {
+			return fmt.Errorf("dist: mixture needs at least one component")
+		}
+		for _, c := range v.Components {
+			if err := Validate(c.Dist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

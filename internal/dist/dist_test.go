@@ -1,0 +1,272 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+const sampleN = 200000
+
+func sampleMean(t *testing.T, d Dist, n int) float64 {
+	t.Helper()
+	s := rng.New(12345)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(s)
+	}
+	return sum / float64(n)
+}
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (+-%v)", what, got, want, tol)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	approx(t, u.Mean(), 4, 1e-12, "uniform mean")
+	approx(t, sampleMean(t, u, sampleN), 4, 0.02, "uniform sample mean")
+	approx(t, u.Quantile(0.5), 4, 1e-12, "uniform median")
+	s := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(s)
+		if v < 2 || v >= 6 {
+			t.Fatalf("uniform sample out of support: %v", v)
+		}
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Rate: 0.5}
+	approx(t, e.Mean(), 2, 1e-12, "exp mean")
+	approx(t, sampleMean(t, e, sampleN), 2, 0.05, "exp sample mean")
+	approx(t, e.Quantile(1-math.Exp(-1)), 2, 1e-9, "exp quantile")
+}
+
+func TestPareto(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 2.5}
+	approx(t, p.Mean(), 2.5/1.5, 1e-12, "pareto mean")
+	approx(t, sampleMean(t, p, sampleN), 2.5/1.5, 0.05, "pareto sample mean")
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Fatal("pareto with alpha<=1 should have infinite mean")
+	}
+	s := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if v := p.Sample(s); v < 1 {
+			t.Fatalf("pareto sample below xm: %v", v)
+		}
+	}
+	// Quantile should invert the CDF: F(Q(p)) = p.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x := p.Quantile(q)
+		cdf := 1 - math.Pow(p.Xm/x, p.Alpha)
+		approx(t, cdf, q, 1e-9, "pareto quantile inversion")
+	}
+}
+
+func TestBoundedParetoSupport(t *testing.T) {
+	b := BoundedPareto{L: 10, H: 1000, Alpha: 1.2}
+	s := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		v := b.Sample(s)
+		if v < 10 || v > 1000 {
+			t.Fatalf("bounded pareto sample out of [10,1000]: %v", v)
+		}
+	}
+	approx(t, sampleMean(t, b, sampleN), b.Mean(), b.Mean()*0.03, "bounded pareto mean")
+}
+
+func TestBoundedParetoQuantileInverts(t *testing.T) {
+	b := BoundedPareto{L: 1, H: 1e4, Alpha: 0.8}
+	la := math.Pow(b.L, b.Alpha)
+	ha := math.Pow(b.H, b.Alpha)
+	cdf := func(x float64) float64 {
+		return (1 - la*math.Pow(x, -b.Alpha)) / (1 - la/ha)
+	}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.94, 0.999} {
+		x := b.Quantile(p)
+		approx(t, cdf(x), p, 1e-9, "bounded pareto quantile inversion")
+	}
+}
+
+func TestBoundedParetoAlphaOneMean(t *testing.T) {
+	b := BoundedPareto{L: 1, H: 100, Alpha: 1}
+	want := b.L * b.H / (b.H - b.L) * math.Log(b.H/b.L)
+	approx(t, b.Mean(), want, 1e-12, "alpha=1 mean formula")
+}
+
+func TestLogNormal(t *testing.T) {
+	l := LogNormal{Mu: 1, Sigma: 0.5}
+	want := math.Exp(1 + 0.125)
+	approx(t, l.Mean(), want, 1e-12, "lognormal mean")
+	approx(t, sampleMean(t, l, sampleN), want, want*0.02, "lognormal sample mean")
+}
+
+func TestWeibull(t *testing.T) {
+	w := Weibull{Lambda: 3, K: 1.5}
+	approx(t, sampleMean(t, w, sampleN), w.Mean(), w.Mean()*0.02, "weibull sample mean")
+	// k=1 reduces to exponential with mean lambda.
+	approx(t, Weibull{Lambda: 2, K: 1}.Mean(), 2, 1e-9, "weibull k=1 mean")
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		x := w.Quantile(p)
+		cdf := 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+		approx(t, cdf, p, 1e-9, "weibull quantile inversion")
+	}
+}
+
+func TestHyperexponential(t *testing.T) {
+	h := Hyperexponential{P: []float64{0.9, 0.1}, Rates: []float64{1, 0.01}}
+	want := 0.9*1 + 0.1*100
+	approx(t, h.Mean(), want, 1e-9, "hyperexp mean")
+	approx(t, sampleMean(t, h, sampleN), want, want*0.05, "hyperexp sample mean")
+}
+
+func TestZipf(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	s := rng.New(4)
+	counts := make(map[int]int)
+	for i := 0; i < 100000; i++ {
+		v := int(z.Sample(s))
+		if v < 1 || v > 100 {
+			t.Fatalf("zipf rank out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[10] {
+		t.Fatalf("zipf ranks not monotone: c1=%d c2=%d c10=%d", counts[1], counts[2], counts[10])
+	}
+	approx(t, sampleMean(t, z, sampleN), z.Mean(), z.Mean()*0.05, "zipf sample mean")
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	approx(t, z.Mean(), 5.5, 1e-9, "zipf s=0 mean")
+}
+
+func TestEmpirical(t *testing.T) {
+	e := Empirical{Values: []float64{1, 2, 3}, Weights: []float64{1, 1, 2}}
+	approx(t, e.Mean(), (1+2+6)/4.0, 1e-12, "empirical mean")
+	s := rng.New(5)
+	seen := map[float64]int{}
+	for i := 0; i < 40000; i++ {
+		seen[e.Sample(s)]++
+	}
+	ratio := float64(seen[3]) / float64(seen[1])
+	approx(t, ratio, 2, 0.2, "empirical weight ratio")
+}
+
+func TestMixture(t *testing.T) {
+	m := Mixture{Components: []Component{
+		{Weight: 0.5, Dist: Constant{Value: 10}},
+		{Weight: 0.5, Dist: Constant{Value: 20}},
+	}}
+	approx(t, m.Mean(), 15, 1e-12, "mixture mean")
+	approx(t, sampleMean(t, m, 50000), 15, 0.2, "mixture sample mean")
+}
+
+func TestClamped(t *testing.T) {
+	c := Clamped{Dist: Exponential{Rate: 0.001}, Lo: 0, Hi: 5}
+	s := rng.New(6)
+	for i := 0; i < 5000; i++ {
+		v := c.Sample(s)
+		if v < 0 || v > 5 {
+			t.Fatalf("clamped sample out of bounds: %v", v)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{Value: 7}
+	if c.Sample(rng.New(1)) != 7 || c.Mean() != 7 || c.Quantile(0.3) != 7 {
+		t.Fatal("constant distribution misbehaves")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Dist{
+		Uniform{Lo: 5, Hi: 1},
+		Exponential{Rate: 0},
+		Pareto{Xm: 0, Alpha: 1},
+		BoundedPareto{L: 5, H: 2, Alpha: 1},
+		LogNormal{Sigma: -1},
+		Weibull{Lambda: 0, K: 1},
+		Hyperexponential{P: []float64{1}, Rates: []float64{}},
+		Hyperexponential{P: []float64{1}, Rates: []float64{0}},
+		Empirical{Values: []float64{1}, Weights: []float64{}},
+		Mixture{},
+		Mixture{Components: []Component{{Weight: 1, Dist: Exponential{Rate: -1}}}},
+	}
+	for i, d := range bad {
+		if Validate(d) == nil {
+			t.Errorf("case %d: expected validation error for %#v", i, d)
+		}
+	}
+	good := []Dist{
+		Uniform{Lo: 0, Hi: 1},
+		Exponential{Rate: 2},
+		Pareto{Xm: 1, Alpha: 1.1},
+		BoundedPareto{L: 1, H: 10, Alpha: 2},
+		LogNormal{Mu: 0, Sigma: 1},
+		Weibull{Lambda: 1, K: 2},
+		Hyperexponential{P: []float64{0.5, 0.5}, Rates: []float64{1, 2}},
+		Empirical{Values: []float64{1}, Weights: []float64{1}},
+		Mixture{Components: []Component{{Weight: 1, Dist: Constant{Value: 1}}}},
+		Constant{Value: 1},
+	}
+	for i, d := range good {
+		if err := Validate(d); err != nil {
+			t.Errorf("case %d: unexpected validation error: %v", i, err)
+		}
+	}
+}
+
+// Property: quantiles are monotone in p for every Quantiler.
+func TestQuantileMonotone(t *testing.T) {
+	qs := []Quantiler{
+		Uniform{Lo: 0, Hi: 9},
+		Exponential{Rate: 0.7},
+		Pareto{Xm: 2, Alpha: 1.3},
+		BoundedPareto{L: 1, H: 1e5, Alpha: 0.9},
+		Weibull{Lambda: 4, K: 0.8},
+	}
+	for _, q := range qs {
+		f := func(a, b float64) bool {
+			pa := math.Abs(math.Mod(a, 1))
+			pb := math.Abs(math.Mod(b, 1))
+			if pa > pb {
+				pa, pb = pb, pa
+			}
+			return q.Quantile(pa) <= q.Quantile(pb)+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%T quantile not monotone: %v", q, err)
+		}
+	}
+}
+
+// Property: samples never fall below the support lower bound.
+func TestSampleSupport(t *testing.T) {
+	cases := []struct {
+		d  Dist
+		lo float64
+	}{
+		{Exponential{Rate: 1}, 0},
+		{Pareto{Xm: 3, Alpha: 2}, 3},
+		{BoundedPareto{L: 2, H: 50, Alpha: 1.5}, 2},
+		{LogNormal{Mu: 0, Sigma: 1}, 0},
+		{Weibull{Lambda: 1, K: 2}, 0},
+	}
+	s := rng.New(9)
+	for _, c := range cases {
+		for i := 0; i < 2000; i++ {
+			if v := c.d.Sample(s); v < c.lo {
+				t.Fatalf("%T sample %v below support %v", c.d, v, c.lo)
+			}
+		}
+	}
+}

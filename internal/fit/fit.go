@@ -1,0 +1,252 @@
+// Package fit estimates the parametric distributions the workload-
+// modelling literature uses (exponential, log-normal, Pareto, Weibull)
+// from trace samples via maximum likelihood, and ranks them by the
+// one-sample Kolmogorov-Smirnov distance. It is the tool for turning a
+// real archive trace into the calibration constants that drive
+// internal/synth.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Model is a fitted distribution with its goodness of fit.
+type Model struct {
+	Name   string
+	Dist   dist.Dist
+	Params map[string]float64
+	// KS is the one-sample Kolmogorov-Smirnov distance between the
+	// sample ECDF and the fitted CDF (smaller is better).
+	KS float64
+}
+
+// Exponential fits rate = 1/mean.
+func Exponential(xs []float64) (dist.Exponential, error) {
+	if err := validate(xs, false); err != nil {
+		return dist.Exponential{}, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return dist.Exponential{}, fmt.Errorf("fit: exponential needs positive mean")
+	}
+	return dist.Exponential{Rate: 1 / mean}, nil
+}
+
+// LogNormal fits mu and sigma as the mean and standard deviation of
+// the log sample. All values must be positive.
+func LogNormal(xs []float64) (dist.LogNormal, error) {
+	if err := validate(xs, true); err != nil {
+		return dist.LogNormal{}, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	mu := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := math.Log(x) - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(xs)))
+	return dist.LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Pareto fits xm = min(sample) and alpha by MLE. All values must be
+// positive.
+func Pareto(xs []float64) (dist.Pareto, error) {
+	if err := validate(xs, true); err != nil {
+		return dist.Pareto{}, err
+	}
+	xm := xs[0]
+	for _, x := range xs {
+		if x < xm {
+			xm = x
+		}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Log(x / xm)
+	}
+	if sum <= 0 {
+		return dist.Pareto{}, fmt.Errorf("fit: pareto needs spread above the minimum")
+	}
+	alpha := float64(len(xs)) / sum
+	return dist.Pareto{Xm: xm, Alpha: alpha}, nil
+}
+
+// Weibull fits shape k and scale lambda by MLE, solving the profile
+// likelihood equation for k by bisection. All values must be positive.
+func Weibull(xs []float64) (dist.Weibull, error) {
+	if err := validate(xs, true); err != nil {
+		return dist.Weibull{}, err
+	}
+	n := float64(len(xs))
+	var meanLog float64
+	for _, x := range xs {
+		meanLog += math.Log(x)
+	}
+	meanLog /= n
+
+	// g(k) = sum(x^k ln x)/sum(x^k) - 1/k - meanLog is increasing in k.
+	g := func(k float64) float64 {
+		var num, den float64
+		for _, x := range xs {
+			xk := math.Pow(x, k)
+			num += xk * math.Log(x)
+			den += xk
+		}
+		return num/den - 1/k - meanLog
+	}
+	lo, hi := 1e-3, 100.0
+	if g(lo) > 0 || g(hi) < 0 {
+		return dist.Weibull{}, fmt.Errorf("fit: weibull shape outside [%g, %g]", lo, hi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	k := (lo + hi) / 2
+	var sumK float64
+	for _, x := range xs {
+		sumK += math.Pow(x, k)
+	}
+	lambda := math.Pow(sumK/n, 1/k)
+	return dist.Weibull{Lambda: lambda, K: k}, nil
+}
+
+func validate(xs []float64, positive bool) error {
+	if len(xs) < 3 {
+		return fmt.Errorf("fit: need at least 3 samples, got %d", len(xs))
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("fit: non-finite sample")
+		}
+		if positive && x <= 0 {
+			return fmt.Errorf("fit: sample %v must be positive", x)
+		}
+		if !positive && x < 0 {
+			return fmt.Errorf("fit: sample %v must be non-negative", x)
+		}
+	}
+	return nil
+}
+
+// CDF evaluates the analytic CDF of the supported families.
+func CDF(d dist.Dist, x float64) (float64, error) {
+	switch v := d.(type) {
+	case dist.Exponential:
+		if x < 0 {
+			return 0, nil
+		}
+		return 1 - math.Exp(-v.Rate*x), nil
+	case dist.LogNormal:
+		if x <= 0 {
+			return 0, nil
+		}
+		return 0.5 * math.Erfc(-(math.Log(x)-v.Mu)/(v.Sigma*math.Sqrt2)), nil
+	case dist.Pareto:
+		if x < v.Xm {
+			return 0, nil
+		}
+		return 1 - math.Pow(v.Xm/x, v.Alpha), nil
+	case dist.Weibull:
+		if x < 0 {
+			return 0, nil
+		}
+		return 1 - math.Exp(-math.Pow(x/v.Lambda, v.K)), nil
+	}
+	return 0, fmt.Errorf("fit: no analytic CDF for %T", d)
+}
+
+// KSOneSample returns the one-sample KS distance between the sample
+// ECDF and the model CDF.
+func KSOneSample(xs []float64, d dist.Dist) (float64, error) {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var dMax float64
+	for i, x := range sorted {
+		f, err := CDF(d, x)
+		if err != nil {
+			return 0, err
+		}
+		lo := math.Abs(float64(i)/n - f)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > dMax {
+			dMax = lo
+		}
+		if hi > dMax {
+			dMax = hi
+		}
+	}
+	return dMax, nil
+}
+
+// Fit fits every supported family to the sample and returns the models
+// ranked by KS distance (best first). Families that cannot be fitted
+// (e.g. non-positive samples for log-normal) are skipped.
+func Fit(xs []float64) ([]Model, error) {
+	if len(xs) < 3 {
+		return nil, fmt.Errorf("fit: need at least 3 samples, got %d", len(xs))
+	}
+	var models []Model
+	if e, err := Exponential(xs); err == nil {
+		models = append(models, Model{
+			Name: "exponential", Dist: e,
+			Params: map[string]float64{"rate": e.Rate},
+		})
+	}
+	if l, err := LogNormal(xs); err == nil {
+		models = append(models, Model{
+			Name: "lognormal", Dist: l,
+			Params: map[string]float64{"mu": l.Mu, "sigma": l.Sigma},
+		})
+	}
+	if p, err := Pareto(xs); err == nil {
+		models = append(models, Model{
+			Name: "pareto", Dist: p,
+			Params: map[string]float64{"xm": p.Xm, "alpha": p.Alpha},
+		})
+	}
+	if w, err := Weibull(xs); err == nil {
+		models = append(models, Model{
+			Name: "weibull", Dist: w,
+			Params: map[string]float64{"lambda": w.Lambda, "k": w.K},
+		})
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("fit: no family could be fitted")
+	}
+	for i := range models {
+		ks, err := KSOneSample(xs, models[i].Dist)
+		if err != nil {
+			return nil, err
+		}
+		models[i].KS = ks
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].KS < models[j].KS })
+	return models, nil
+}
+
+// Best returns the family with the smallest KS distance.
+func Best(xs []float64) (Model, error) {
+	models, err := Fit(xs)
+	if err != nil {
+		return Model{}, err
+	}
+	return models[0], nil
+}

@@ -1,0 +1,193 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func sample(d dist.Dist, n int, seed uint64) []float64 {
+	s := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(s)
+	}
+	return xs
+}
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (+-%v)", what, got, want, tol)
+	}
+}
+
+func TestExponentialRecovery(t *testing.T) {
+	xs := sample(dist.Exponential{Rate: 0.25}, 20000, 1)
+	e, err := Exponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Rate, 0.25, 0.01, "rate")
+}
+
+func TestLogNormalRecovery(t *testing.T) {
+	xs := sample(dist.LogNormal{Mu: 2, Sigma: 0.7}, 20000, 2)
+	l, err := LogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, l.Mu, 2, 0.03, "mu")
+	approx(t, l.Sigma, 0.7, 0.03, "sigma")
+}
+
+func TestParetoRecovery(t *testing.T) {
+	xs := sample(dist.Pareto{Xm: 3, Alpha: 1.8}, 20000, 3)
+	p, err := Pareto(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, p.Xm, 3, 0.01, "xm")
+	approx(t, p.Alpha, 1.8, 0.06, "alpha")
+}
+
+func TestWeibullRecovery(t *testing.T) {
+	xs := sample(dist.Weibull{Lambda: 5, K: 1.4}, 20000, 4)
+	w, err := Weibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, w.Lambda, 5, 0.15, "lambda")
+	approx(t, w.K, 1.4, 0.05, "k")
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Exponential([]float64{1, 2}); err == nil {
+		t.Error("short sample accepted")
+	}
+	if _, err := LogNormal([]float64{1, 2, 0}); err == nil {
+		t.Error("non-positive accepted for lognormal")
+	}
+	if _, err := Pareto([]float64{1, 1, 1}); err == nil {
+		t.Error("degenerate pareto accepted")
+	}
+	if _, err := Exponential([]float64{1, 2, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := Weibull([]float64{-1, 2, 3}); err == nil {
+		t.Error("negative accepted for weibull")
+	}
+}
+
+func TestCDFKnownValues(t *testing.T) {
+	f, err := CDF(dist.Exponential{Rate: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, f, 1-math.Exp(-1), 1e-12, "exp CDF")
+
+	f, _ = CDF(dist.LogNormal{Mu: 0, Sigma: 1}, 1)
+	approx(t, f, 0.5, 1e-9, "lognormal median")
+
+	f, _ = CDF(dist.Pareto{Xm: 2, Alpha: 1}, 4)
+	approx(t, f, 0.5, 1e-12, "pareto CDF")
+
+	f, _ = CDF(dist.Weibull{Lambda: 1, K: 1}, 1)
+	approx(t, f, 1-math.Exp(-1), 1e-12, "weibull k=1 CDF")
+
+	if _, err := CDF(dist.Uniform{Lo: 0, Hi: 1}, 0.5); err == nil {
+		t.Error("unsupported family should error")
+	}
+	// Below-support values give 0.
+	for _, d := range []dist.Dist{
+		dist.Exponential{Rate: 1}, dist.LogNormal{Mu: 0, Sigma: 1},
+		dist.Pareto{Xm: 1, Alpha: 1}, dist.Weibull{Lambda: 1, K: 1},
+	} {
+		if f, _ := CDF(d, -5); f != 0 {
+			t.Errorf("%T CDF(-5) = %v", d, f)
+		}
+	}
+}
+
+func TestKSOneSample(t *testing.T) {
+	// Sample drawn from the model itself: small distance.
+	model := dist.Exponential{Rate: 0.5}
+	xs := sample(model, 5000, 5)
+	d, err := KSOneSample(xs, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.03 {
+		t.Fatalf("self-KS %v too large", d)
+	}
+	// Against a very different model: large distance.
+	d2, _ := KSOneSample(xs, dist.Exponential{Rate: 50})
+	if d2 < 0.5 {
+		t.Fatalf("wrong-model KS %v too small", d2)
+	}
+}
+
+func TestFitRanksCorrectFamilyFirst(t *testing.T) {
+	cases := []struct {
+		name string
+		d    dist.Dist
+	}{
+		{"exponential", dist.Exponential{Rate: 0.1}},
+		{"lognormal", dist.LogNormal{Mu: 1, Sigma: 1.2}},
+		{"pareto", dist.Pareto{Xm: 1, Alpha: 1.1}},
+		{"weibull", dist.Weibull{Lambda: 2, K: 0.6}},
+	}
+	for i, c := range cases {
+		xs := sample(c.d, 8000, uint64(10+i))
+		best, err := Best(xs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if best.Name != c.name {
+			// The true family must at least be near-indistinguishable.
+			models, _ := Fit(xs)
+			var trueKS float64
+			for _, m := range models {
+				if m.Name == c.name {
+					trueKS = m.KS
+				}
+			}
+			if trueKS > best.KS*1.5 {
+				t.Errorf("%s sample best-fitted by %s (KS %v vs true %v)",
+					c.name, best.Name, best.KS, trueKS)
+			}
+		}
+	}
+}
+
+func TestFitReportsParams(t *testing.T) {
+	xs := sample(dist.LogNormal{Mu: 3, Sigma: 0.5}, 5000, 42)
+	models, err := Fit(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) < 3 {
+		t.Fatalf("only %d families fitted", len(models))
+	}
+	for i := 1; i < len(models); i++ {
+		if models[i].KS < models[i-1].KS {
+			t.Fatal("models not sorted by KS")
+		}
+	}
+	for _, m := range models {
+		if len(m.Params) == 0 {
+			t.Errorf("%s has no params", m.Name)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	if _, err := Best([]float64{-1, -2, -3}); err == nil {
+		t.Error("all-negative sample accepted")
+	}
+}

@@ -1,0 +1,244 @@
+// Package gridsim implements the space-shared batch scheduling that
+// Grid/HPC clusters in the paper's comparison set run: jobs request a
+// number of processors for a runtime; a FCFS queue (optionally with
+// EASY backfilling) decides when each job starts.
+//
+// The simulator turns a synthetic arrival/runtime stream into the wait
+// times and node-utilisation series a real archive trace embodies, so
+// the Grid side of the comparison can be produced by actual scheduling
+// rather than by sampled wait-time distributions.
+package gridsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/timeseries"
+)
+
+// Config parameterises a grid cluster.
+type Config struct {
+	Nodes    int  // total processors
+	Backfill bool // EASY backfilling (false = plain FCFS)
+}
+
+// JobSpec is one submitted batch job.
+type JobSpec struct {
+	ID      int64
+	Submit  int64 // seconds
+	Procs   int   // processors requested
+	Runtime int64 // actual runtime, seconds
+	// Estimate is the user's runtime estimate used for backfill
+	// decisions; 0 means use Runtime (perfect estimates).
+	Estimate int64
+}
+
+// Placement is the scheduling outcome of one job.
+type Placement struct {
+	ID    int64
+	Start int64
+	End   int64
+	Wait  int64
+}
+
+// Result is the simulation output.
+type Result struct {
+	Placements  []Placement
+	Utilization *timeseries.Series // fraction of processors busy
+	MeanWait    float64            // seconds
+	MaxWait     int64
+	MaxQueue    int
+	Backfilled  int // jobs started out of FCFS order
+}
+
+type runningJob struct {
+	end   int64 // actual completion
+	est   int64 // estimated completion (for shadow-time computation)
+	procs int
+}
+
+type endHeap []runningJob
+
+func (h endHeap) Len() int           { return len(h) }
+func (h endHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h endHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)        { *h = append(*h, x.(runningJob)) }
+func (h *endHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simulate schedules jobs on the cluster and samples utilisation with
+// the given step. Jobs needing more processors than the cluster owns
+// are rejected with an error.
+func Simulate(cfg Config, jobs []JobSpec, step int64) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("gridsim: nodes %d must be positive", cfg.Nodes)
+	}
+	if step <= 0 {
+		step = 300
+	}
+	for _, j := range jobs {
+		if j.Procs <= 0 {
+			return nil, fmt.Errorf("gridsim: job %d requests %d procs", j.ID, j.Procs)
+		}
+		if j.Procs > cfg.Nodes {
+			return nil, fmt.Errorf("gridsim: job %d needs %d procs, cluster has %d", j.ID, j.Procs, cfg.Nodes)
+		}
+		if j.Runtime <= 0 {
+			return nil, fmt.Errorf("gridsim: job %d has runtime %d", j.ID, j.Runtime)
+		}
+	}
+	ordered := append([]JobSpec(nil), jobs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Submit != ordered[j].Submit {
+			return ordered[i].Submit < ordered[j].Submit
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+
+	var (
+		free    = cfg.Nodes
+		running endHeap
+		queue   []JobSpec // FCFS order
+		out     []Placement
+		bf      int
+		maxQ    int
+	)
+	var horizon int64
+	for _, j := range ordered {
+		if end := j.Submit + j.Runtime; end > horizon {
+			horizon = end
+		}
+	}
+	// Generous bound: total work serialised.
+	var totalWork int64
+	for _, j := range ordered {
+		totalWork += j.Runtime * int64(j.Procs)
+	}
+	horizon += totalWork/int64(cfg.Nodes) + step
+
+	acc, err := timeseries.NewAccumulator(0, horizon, step)
+	if err != nil {
+		return nil, err
+	}
+
+	est := func(j JobSpec) int64 {
+		if j.Estimate > 0 {
+			return j.Estimate
+		}
+		return j.Runtime
+	}
+
+	start := func(now int64, j JobSpec) {
+		free -= j.Procs
+		end := now + j.Runtime
+		heap.Push(&running, runningJob{end: end, est: now + est(j), procs: j.Procs})
+		out = append(out, Placement{ID: j.ID, Start: now, End: end, Wait: now - j.Submit})
+		acc.AddRange(now, end, float64(j.Procs)/float64(cfg.Nodes))
+	}
+
+	// trySchedule drains the queue at time now: FCFS head first; with
+	// backfill, later jobs may jump ahead if they cannot delay the head.
+	trySchedule := func(now int64) {
+		for len(queue) > 0 && queue[0].Procs <= free {
+			start(now, queue[0])
+			queue = queue[1:]
+		}
+		if !cfg.Backfill || len(queue) == 0 {
+			return
+		}
+		head := queue[0]
+		// Shadow time: when will the head be able to start? Walk the
+		// running jobs by estimated completion until enough processors
+		// accumulate. Extra processors free at that moment may be used
+		// by backfilled jobs that outlast the shadow time.
+		byEst := append([]runningJob(nil), running...)
+		sort.Slice(byEst, func(i, j int) bool { return byEst[i].est < byEst[j].est })
+		avail := free
+		shadow := now
+		for _, r := range byEst {
+			if avail >= head.Procs {
+				break
+			}
+			avail += r.procs
+			shadow = r.est
+		}
+		extra := avail - head.Procs // processors spare even at the shadow time
+
+		for i := 1; i < len(queue); {
+			j := queue[i]
+			fitsNow := j.Procs <= free
+			// Safe to backfill if it finishes before the shadow time,
+			// or if it only uses processors the head will not need.
+			finishesInTime := now+est(j) <= shadow
+			usesSpare := j.Procs <= extra
+			if fitsNow && (finishesInTime || usesSpare) {
+				if usesSpare && !finishesInTime {
+					extra -= j.Procs
+				}
+				start(now, j)
+				bf++
+				queue = append(queue[:i], queue[i+1:]...)
+				continue
+			}
+			i++
+		}
+	}
+
+	ji := 0
+	for ji < len(ordered) || running.Len() > 0 {
+		// Next event: arrival or completion.
+		var now int64
+		arrival := ji < len(ordered)
+		completion := running.Len() > 0
+		switch {
+		case arrival && completion:
+			if ordered[ji].Submit <= running[0].end {
+				now = ordered[ji].Submit
+			} else {
+				now = running[0].end
+			}
+		case arrival:
+			now = ordered[ji].Submit
+		default:
+			now = running[0].end
+		}
+		// Process all completions at or before now.
+		for running.Len() > 0 && running[0].end <= now {
+			r := heap.Pop(&running).(runningJob)
+			free += r.procs
+		}
+		// Process all arrivals at now.
+		for ji < len(ordered) && ordered[ji].Submit == now {
+			queue = append(queue, ordered[ji])
+			ji++
+		}
+		trySchedule(now)
+		if len(queue) > maxQ {
+			maxQ = len(queue)
+		}
+	}
+
+	res := &Result{
+		Placements:  out,
+		Utilization: acc.Series(),
+		MaxQueue:    maxQ,
+		Backfilled:  bf,
+	}
+	var waitSum int64
+	for _, p := range out {
+		waitSum += p.Wait
+		if p.Wait > res.MaxWait {
+			res.MaxWait = p.Wait
+		}
+	}
+	if len(out) > 0 {
+		res.MeanWait = float64(waitSum) / float64(len(out))
+	}
+	return res, nil
+}

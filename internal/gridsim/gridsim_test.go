@@ -1,0 +1,285 @@
+package gridsim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRejectsBadInput(t *testing.T) {
+	if _, err := Simulate(Config{Nodes: 0}, nil, 300); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Simulate(Config{Nodes: 4}, []JobSpec{{ID: 1, Procs: 8, Runtime: 10}}, 300); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if _, err := Simulate(Config{Nodes: 4}, []JobSpec{{ID: 1, Procs: 0, Runtime: 10}}, 300); err == nil {
+		t.Error("zero-proc job accepted")
+	}
+	if _, err := Simulate(Config{Nodes: 4}, []JobSpec{{ID: 1, Procs: 1, Runtime: 0}}, 300); err == nil {
+		t.Error("zero-runtime job accepted")
+	}
+}
+
+func TestSingleJobRunsImmediately(t *testing.T) {
+	res, err := Simulate(Config{Nodes: 4},
+		[]JobSpec{{ID: 1, Submit: 100, Procs: 2, Runtime: 600}}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) != 1 {
+		t.Fatalf("placements %v", res.Placements)
+	}
+	p := res.Placements[0]
+	if p.Start != 100 || p.End != 700 || p.Wait != 0 {
+		t.Fatalf("placement %+v", p)
+	}
+	if res.MeanWait != 0 {
+		t.Fatalf("mean wait %v", res.MeanWait)
+	}
+}
+
+func TestFCFSQueueing(t *testing.T) {
+	// Two 4-proc jobs on a 4-node cluster: second waits for the first.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 4, Runtime: 1000},
+		{ID: 2, Submit: 10, Procs: 4, Runtime: 500},
+	}
+	res, err := Simulate(Config{Nodes: 4}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]Placement{}
+	for _, p := range res.Placements {
+		byID[p.ID] = p
+	}
+	if byID[2].Start != 1000 || byID[2].Wait != 990 {
+		t.Fatalf("second job %+v", byID[2])
+	}
+	if res.MaxWait != 990 {
+		t.Fatalf("max wait %v", res.MaxWait)
+	}
+}
+
+func TestFCFSHeadBlocks(t *testing.T) {
+	// Without backfill, a small job behind a blocked big job waits even
+	// though it would fit.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 3, Runtime: 1000}, // running, leaves 1 free
+		{ID: 2, Submit: 10, Procs: 4, Runtime: 500}, // head: needs all 4
+		{ID: 3, Submit: 20, Procs: 1, Runtime: 100}, // would fit now
+	}
+	res, err := Simulate(Config{Nodes: 4, Backfill: false}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]Placement{}
+	for _, p := range res.Placements {
+		byID[p.ID] = p
+	}
+	if byID[3].Start < byID[2].Start {
+		t.Fatalf("FCFS violated: job 3 at %d before head at %d", byID[3].Start, byID[2].Start)
+	}
+	if res.Backfilled != 0 {
+		t.Fatalf("backfills without backfill enabled: %d", res.Backfilled)
+	}
+}
+
+func TestEASYBackfillFillsHole(t *testing.T) {
+	// Same scenario with backfill: job 3 (100 s on the spare node)
+	// finishes before the head could start (t=1000), so it backfills.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 3, Runtime: 1000},
+		{ID: 2, Submit: 10, Procs: 4, Runtime: 500},
+		{ID: 3, Submit: 20, Procs: 1, Runtime: 100},
+	}
+	res, err := Simulate(Config{Nodes: 4, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]Placement{}
+	for _, p := range res.Placements {
+		byID[p.ID] = p
+	}
+	if byID[3].Start != 20 {
+		t.Fatalf("job 3 should backfill at t=20, got %+v", byID[3])
+	}
+	// The head must not be delayed by the backfill.
+	if byID[2].Start != 1000 {
+		t.Fatalf("head delayed by backfill: %+v", byID[2])
+	}
+	if res.Backfilled != 1 {
+		t.Fatalf("backfill count %d", res.Backfilled)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	// A long backfill candidate that would overlap the shadow time and
+	// uses processors the head needs must NOT start.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 3, Runtime: 1000},
+		{ID: 2, Submit: 10, Procs: 4, Runtime: 500},  // head
+		{ID: 3, Submit: 20, Procs: 1, Runtime: 5000}, // too long, would delay head
+	}
+	res, err := Simulate(Config{Nodes: 4, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]Placement{}
+	for _, p := range res.Placements {
+		byID[p.ID] = p
+	}
+	if byID[2].Start != 1000 {
+		t.Fatalf("head delayed: %+v", byID[2])
+	}
+	if byID[3].Start < byID[2].Start {
+		t.Fatalf("unsafe backfill: %+v", byID[3])
+	}
+}
+
+func TestBackfillSpareProcessors(t *testing.T) {
+	// 8 nodes. Running job holds 4 until t=1000. Head needs 6 (shadow
+	// t=1000, at which point 8 free, extra = 2). A long 2-proc job can
+	// backfill on the spare processors without delaying the head.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 4, Runtime: 1000},
+		{ID: 2, Submit: 10, Procs: 6, Runtime: 500},  // head
+		{ID: 3, Submit: 20, Procs: 2, Runtime: 9000}, // long but fits in spare
+	}
+	res, err := Simulate(Config{Nodes: 8, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]Placement{}
+	for _, p := range res.Placements {
+		byID[p.ID] = p
+	}
+	if byID[3].Start != 20 {
+		t.Fatalf("spare-processor backfill failed: %+v", byID[3])
+	}
+	if byID[2].Start != 1000 {
+		t.Fatalf("head delayed: %+v", byID[2])
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	s := rng.New(1)
+	var jobs []JobSpec
+	for i := 0; i < 300; i++ {
+		jobs = append(jobs, JobSpec{
+			ID: int64(i + 1), Submit: s.Int64N(50000),
+			Procs: 1 + s.IntN(8), Runtime: 300 + s.Int64N(5000),
+		})
+	}
+	res, err := Simulate(Config{Nodes: 16, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Utilization.Values {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("utilisation out of [0,1] at %d: %v", i, v)
+		}
+	}
+	if len(res.Placements) != 300 {
+		t.Fatalf("placed %d jobs", len(res.Placements))
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Total processor-seconds in the utilisation series equals the sum
+	// of job work.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 2, Runtime: 600},
+		{ID: 2, Submit: 100, Procs: 3, Runtime: 900},
+		{ID: 3, Submit: 5000, Procs: 1, Runtime: 300},
+	}
+	res, err := Simulate(Config{Nodes: 4, Backfill: true}, jobs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series float64
+	for _, v := range res.Utilization.Values {
+		series += v * 100 * 4 // fraction * step * nodes
+	}
+	want := float64(2*600 + 3*900 + 1*300)
+	if diff := series - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("work %v, want %v", series, want)
+	}
+}
+
+func TestBackfillImprovesWaitAndUtilization(t *testing.T) {
+	// A realistic random mix: EASY must not worsen mean wait, and
+	// usually improves it.
+	s := rng.New(9)
+	var jobs []JobSpec
+	for i := 0; i < 500; i++ {
+		procs := 1 << s.IntN(5) // 1..16
+		jobs = append(jobs, JobSpec{
+			ID: int64(i + 1), Submit: s.Int64N(2 * 86400),
+			Procs: procs, Runtime: 600 + s.Int64N(4*3600),
+		})
+	}
+	fcfs, err := Simulate(Config{Nodes: 32, Backfill: false}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, err := Simulate(Config{Nodes: 32, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.Backfilled == 0 {
+		t.Fatal("no backfills in a congested mix")
+	}
+	if easy.MeanWait > fcfs.MeanWait*1.05 {
+		t.Fatalf("EASY mean wait %v worse than FCFS %v", easy.MeanWait, fcfs.MeanWait)
+	}
+}
+
+func TestEstimatesUsedForShadow(t *testing.T) {
+	// Pessimistic estimate on the running job widens the backfill
+	// window: a job that fits under the estimated shadow backfills.
+	jobs := []JobSpec{
+		{ID: 1, Submit: 0, Procs: 3, Runtime: 300, Estimate: 2000},
+		{ID: 2, Submit: 10, Procs: 4, Runtime: 500}, // head
+		{ID: 3, Submit: 20, Procs: 1, Runtime: 1500, Estimate: 1500},
+	}
+	res, err := Simulate(Config{Nodes: 4, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]Placement{}
+	for _, p := range res.Placements {
+		byID[p.ID] = p
+	}
+	// Shadow computed from estimates is t=2000; job 3 ends 20+1500 < 2000.
+	if byID[3].Start != 20 {
+		t.Fatalf("estimate-based backfill failed: %+v", byID[3])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	s := rng.New(4)
+	var jobs []JobSpec
+	for i := 0; i < 200; i++ {
+		jobs = append(jobs, JobSpec{
+			ID: int64(i + 1), Submit: s.Int64N(10000),
+			Procs: 1 + s.IntN(4), Runtime: 100 + s.Int64N(1000),
+		})
+	}
+	a, err := Simulate(Config{Nodes: 8, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(Config{Nodes: 8, Backfill: true}, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Placements) != len(b.Placements) {
+		t.Fatal("placement counts differ")
+	}
+	for i := range a.Placements {
+		if a.Placements[i] != b.Placements[i] {
+			t.Fatalf("placement %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package gtrace encodes and decodes the Google clusterdata-v1 CSV
+// table layout used by the trace the paper analyses: machine_events,
+// task_events and task_usage. A user with access to the real trace can
+// load it through this package and feed it to the same analyses that
+// the synthetic generators exercise.
+//
+// Column subsets follow the clusterdata-v1 format documentation:
+//
+//	machine_events: time, machine_id, event_type, platform_id, cpus, memory
+//	task_events:    time, missing_info, job_id, task_index, machine_id,
+//	                event_type, user, scheduling_class, priority,
+//	                cpu_request, memory_request, disk_request, constraint
+//	task_usage:     start_time, end_time, job_id, task_index, machine_id,
+//	                cpu_rate, canonical_memory_usage, assigned_memory_usage,
+//	                unmapped_page_cache, total_page_cache
+//
+// All floating-point values are normalised to [0, 1] as in the released
+// trace. Timestamps are in seconds (the real trace uses microseconds;
+// the Decode* functions accept a TimeUnit to convert).
+package gtrace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// v1 task event codes.
+const (
+	codeSubmit        = 0
+	codeSchedule      = 1
+	codeEvict         = 2
+	codeFail          = 3
+	codeFinish        = 4
+	codeKill          = 5
+	codeLost          = 6
+	codeUpdatePending = 7
+	codeUpdateRunning = 8
+)
+
+// EventCode maps an EventType to its clusterdata-v1 integer code.
+func EventCode(e trace.EventType) (int, error) {
+	switch e {
+	case trace.EventSubmit:
+		return codeSubmit, nil
+	case trace.EventSchedule:
+		return codeSchedule, nil
+	case trace.EventEvict:
+		return codeEvict, nil
+	case trace.EventFail:
+		return codeFail, nil
+	case trace.EventFinish:
+		return codeFinish, nil
+	case trace.EventKill:
+		return codeKill, nil
+	case trace.EventLost:
+		return codeLost, nil
+	case trace.EventUpdate:
+		return codeUpdateRunning, nil
+	}
+	return 0, fmt.Errorf("gtrace: no v1 code for event %v", e)
+}
+
+// EventFromCode maps a clusterdata-v1 code back to an EventType.
+func EventFromCode(code int) (trace.EventType, error) {
+	switch code {
+	case codeSubmit:
+		return trace.EventSubmit, nil
+	case codeSchedule:
+		return trace.EventSchedule, nil
+	case codeEvict:
+		return trace.EventEvict, nil
+	case codeFail:
+		return trace.EventFail, nil
+	case codeFinish:
+		return trace.EventFinish, nil
+	case codeKill:
+		return trace.EventKill, nil
+	case codeLost:
+		return trace.EventLost, nil
+	case codeUpdatePending, codeUpdateRunning:
+		return trace.EventUpdate, nil
+	}
+	return 0, fmt.Errorf("gtrace: unknown v1 event code %d", code)
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ---------------------------------------------------------------------------
+// machine_events
+
+// EncodeMachines writes machines as machine_events ADD rows at time 0.
+func EncodeMachines(w io.Writer, machines []trace.Machine) error {
+	cw := csv.NewWriter(w)
+	for _, m := range machines {
+		rec := []string{
+			"0",
+			strconv.Itoa(m.ID),
+			"0", // ADD
+			"",  // platform id (opaque in the real trace)
+			ftoa(m.CPU),
+			ftoa(m.Memory),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: write machine: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MachineTransition is one ADD/REMOVE row beyond the initial park
+// (machine churn).
+type MachineTransition struct {
+	Time    int64
+	Machine int
+	Up      bool
+}
+
+// EncodeMachineEvents writes the initial ADD rows plus churn
+// transitions (REMOVE = event type 1, re-ADD = 0). Capacities are only
+// carried on ADD rows, as in the real trace.
+func EncodeMachineEvents(w io.Writer, machines []trace.Machine, transitions []MachineTransition) error {
+	cw := csv.NewWriter(w)
+	caps := make(map[int]trace.Machine, len(machines))
+	for _, m := range machines {
+		caps[m.ID] = m
+		rec := []string{"0", strconv.Itoa(m.ID), "0", "", ftoa(m.CPU), ftoa(m.Memory)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: write machine add: %w", err)
+		}
+	}
+	for _, tr := range transitions {
+		code := "1" // REMOVE
+		cpu, mem := "", ""
+		if tr.Up {
+			code = "0"
+			if m, ok := caps[tr.Machine]; ok {
+				cpu, mem = ftoa(m.CPU), ftoa(m.Memory)
+			}
+		}
+		rec := []string{strconv.FormatInt(tr.Time, 10), strconv.Itoa(tr.Machine), code, "", cpu, mem}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: write machine transition: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeMachines reads machine_events rows, keeping ADD events.
+func DecodeMachines(r io.Reader) ([]trace.Machine, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	var out []trace.Machine
+	seen := make(map[int]bool)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: read machine row: %w", err)
+		}
+		evt, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: machine event type %q: %w", rec[2], err)
+		}
+		if evt != 0 { // only ADD events carry capacities we need
+			continue
+		}
+		id, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: machine id %q: %w", rec[1], err)
+		}
+		if seen[id] { // churn re-ADD rows do not duplicate the park
+			continue
+		}
+		seen[id] = true
+		cpu, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: machine cpu %q: %w", rec[4], err)
+		}
+		mem, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gtrace: machine memory %q: %w", rec[5], err)
+		}
+		out = append(out, trace.Machine{ID: id, CPU: cpu, Memory: mem, PageCache: 1})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// task_events
+
+// EncodeEvents writes task events in task_events layout.
+func EncodeEvents(w io.Writer, events []trace.TaskEvent) error {
+	cw := csv.NewWriter(w)
+	for _, e := range events {
+		code, err := EventCode(e.Type)
+		if err != nil {
+			return err
+		}
+		machine := ""
+		if e.Machine >= 0 {
+			machine = strconv.Itoa(e.Machine)
+		}
+		rec := []string{
+			strconv.FormatInt(e.Time, 10),
+			"", // missing_info
+			strconv.FormatInt(e.JobID, 10),
+			strconv.Itoa(e.TaskIndex),
+			machine,
+			strconv.Itoa(code),
+			"", // user
+			"", // scheduling class
+			strconv.Itoa(e.Priority),
+			"", // cpu request (carried on tasks, not events, in our model)
+			"", // memory request
+			"", // disk request
+			"", // constraint
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: write event: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeEvents reads all task_events rows into memory. For month-scale
+// traces prefer the streaming EventScanner.
+func DecodeEvents(r io.Reader) ([]trace.TaskEvent, error) {
+	sc := NewEventScanner(r)
+	var out []trace.TaskEvent
+	for sc.Scan() {
+		out = append(out, sc.Event())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// task_usage
+
+// EncodeUsage writes usage samples in task_usage layout.
+func EncodeUsage(w io.Writer, usage []trace.UsageSample) error {
+	cw := csv.NewWriter(w)
+	for _, u := range usage {
+		rec := []string{
+			strconv.FormatInt(u.Start, 10),
+			strconv.FormatInt(u.End, 10),
+			strconv.FormatInt(u.JobID, 10),
+			strconv.Itoa(u.TaskIndex),
+			strconv.Itoa(u.Machine),
+			ftoa(u.CPU),
+			ftoa(u.MemUsed),
+			ftoa(u.MemAssigned),
+			"0", // unmapped page cache (we fold it into total)
+			ftoa(u.PageCache),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("gtrace: write usage: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeUsage reads all task_usage rows into memory. For month-scale
+// traces prefer the streaming UsageScanner.
+func DecodeUsage(r io.Reader) ([]trace.UsageSample, error) {
+	sc := NewUsageScanner(r)
+	var out []trace.UsageSample
+	for sc.Scan() {
+		out = append(out, sc.Sample())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// whole-trace convenience
+
+// Encode writes the three tables of tr to the given writers. Nil
+// writers skip their table.
+func Encode(machines, events, usage io.Writer, tr *trace.Trace) error {
+	if machines != nil {
+		if err := EncodeMachines(machines, tr.Machines); err != nil {
+			return err
+		}
+	}
+	if events != nil {
+		if err := EncodeEvents(events, tr.Events); err != nil {
+			return err
+		}
+	}
+	if usage != nil {
+		if err := EncodeUsage(usage, tr.Usage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads the three tables into a Trace. Nil readers skip their
+// table. Job summaries are rebuilt from the events and usage.
+func Decode(machines, events, usage io.Reader) (*trace.Trace, error) {
+	tr := &trace.Trace{System: "Google"}
+	var err error
+	if machines != nil {
+		if tr.Machines, err = DecodeMachines(machines); err != nil {
+			return nil, err
+		}
+	}
+	if events != nil {
+		if tr.Events, err = DecodeEvents(events); err != nil {
+			return nil, err
+		}
+	}
+	if usage != nil {
+		if tr.Usage, err = DecodeUsage(usage); err != nil {
+			return nil, err
+		}
+	}
+	tr.Jobs = trace.JobsFromEvents(tr.Events, tr.Usage)
+	for _, e := range tr.Events {
+		if e.Time > tr.Horizon {
+			tr.Horizon = e.Time
+		}
+	}
+	for _, u := range tr.Usage {
+		if u.End > tr.Horizon {
+			tr.Horizon = u.End
+		}
+	}
+	return tr, nil
+}

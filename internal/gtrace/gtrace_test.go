@@ -1,0 +1,223 @@
+package gtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestEventCodeRoundTrip(t *testing.T) {
+	for _, e := range []trace.EventType{
+		trace.EventSubmit, trace.EventSchedule, trace.EventEvict,
+		trace.EventFail, trace.EventFinish, trace.EventKill,
+		trace.EventLost, trace.EventUpdate,
+	} {
+		code, err := EventCode(e)
+		if err != nil {
+			t.Fatalf("EventCode(%v): %v", e, err)
+		}
+		back, err := EventFromCode(code)
+		if err != nil || back != e {
+			t.Fatalf("round trip %v -> %d -> %v (%v)", e, code, back, err)
+		}
+	}
+	if _, err := EventFromCode(99); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+	if _, err := EventCode(trace.EventType(99)); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	// Code 7 (UPDATE_PENDING) also maps to EventUpdate.
+	if e, err := EventFromCode(7); err != nil || e != trace.EventUpdate {
+		t.Fatalf("code 7 -> %v, %v", e, err)
+	}
+}
+
+func TestMachinesRoundTrip(t *testing.T) {
+	in := []trace.Machine{
+		{ID: 0, CPU: 0.5, Memory: 0.25, PageCache: 1},
+		{ID: 7, CPU: 1, Memory: 0.97, PageCache: 1},
+	}
+	var buf bytes.Buffer
+	if err := EncodeMachines(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeMachines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d machines", len(out))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].CPU != in[i].CPU || out[i].Memory != in[i].Memory {
+			t.Fatalf("machine %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeMachinesSkipsNonAdd(t *testing.T) {
+	csv := "0,1,0,,0.5,0.5\n100,1,1,,0.5,0.5\n200,2,0,,1,1\n"
+	out, err := DecodeMachines(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d machines, want 2 (REMOVE rows skipped)", len(out))
+	}
+}
+
+func TestMachineEventsWithChurn(t *testing.T) {
+	machines := []trace.Machine{
+		{ID: 0, CPU: 0.5, Memory: 0.5, PageCache: 1},
+		{ID: 1, CPU: 1, Memory: 1, PageCache: 1},
+	}
+	transitions := []MachineTransition{
+		{Time: 100, Machine: 0, Up: false},
+		{Time: 400, Machine: 0, Up: true},
+		{Time: 900, Machine: 1, Up: false},
+	}
+	var buf bytes.Buffer
+	if err := EncodeMachineEvents(&buf, machines, transitions); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "100,0,1,") {
+		t.Fatalf("REMOVE row missing:\n%s", text)
+	}
+	if !strings.Contains(text, "400,0,0,") {
+		t.Fatalf("re-ADD row missing:\n%s", text)
+	}
+	// Decoding yields the park once, despite the re-ADD.
+	got, err := DecodeMachines(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d machines, want 2 (re-ADD deduped)", len(got))
+	}
+	if got[0].CPU != 0.5 || got[1].CPU != 1 {
+		t.Fatalf("capacities lost: %+v", got)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	in := []trace.TaskEvent{
+		{Time: 0, JobID: 10, TaskIndex: 0, Machine: -1, Type: trace.EventSubmit, Priority: 4},
+		{Time: 60, JobID: 10, TaskIndex: 0, Machine: 3, Type: trace.EventSchedule, Priority: 4},
+		{Time: 600, JobID: 10, TaskIndex: 0, Machine: 3, Type: trace.EventFinish, Priority: 4},
+		{Time: 700, JobID: 11, TaskIndex: 2, Machine: 5, Type: trace.EventEvict, Priority: 11},
+	}
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d events", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestUsageRoundTrip(t *testing.T) {
+	in := []trace.UsageSample{
+		{Start: 0, End: 300, JobID: 1, TaskIndex: 0, Machine: 2,
+			CPU: 0.25, MemUsed: 0.1, MemAssigned: 0.15, PageCache: 0.02},
+		{Start: 300, End: 600, JobID: 1, TaskIndex: 0, Machine: 2,
+			CPU: 0.5, MemUsed: 0.12, MemAssigned: 0.15, PageCache: 0.03},
+	}
+	var buf bytes.Buffer
+	if err := EncodeUsage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeUsage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		got := out[i]
+		want := in[i]
+		got.Priority = want.Priority // priority is not serialised in task_usage
+		if got != want {
+			t.Fatalf("usage %d mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeMachines(strings.NewReader("0,x,0,,0.5,0.5\n")); err == nil {
+		t.Error("bad machine id accepted")
+	}
+	if _, err := DecodeEvents(strings.NewReader("x,,1,0,,0,,,1,,,,\n")); err == nil {
+		t.Error("bad event time accepted")
+	}
+	if _, err := DecodeEvents(strings.NewReader("0,,1,0,,42,,,1,,,,\n")); err == nil {
+		t.Error("bad event code accepted")
+	}
+	if _, err := DecodeUsage(strings.NewReader("0,300,1,0,2,bad,0.1,0.1,0,0.1\n")); err == nil {
+		t.Error("bad usage cpu accepted")
+	}
+	if _, err := DecodeEvents(strings.NewReader("0,,1\n")); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestWholeTraceRoundTrip(t *testing.T) {
+	tr := &trace.Trace{
+		System: "Google",
+		Machines: []trace.Machine{
+			{ID: 0, CPU: 1, Memory: 1, PageCache: 1},
+		},
+		Events: []trace.TaskEvent{
+			{Time: 0, JobID: 1, TaskIndex: 0, Machine: -1, Type: trace.EventSubmit, Priority: 2},
+			{Time: 10, JobID: 1, TaskIndex: 0, Machine: 0, Type: trace.EventSchedule, Priority: 2},
+			{Time: 900, JobID: 1, TaskIndex: 0, Machine: 0, Type: trace.EventFinish, Priority: 2},
+		},
+		Usage: []trace.UsageSample{
+			{Start: 10, End: 310, JobID: 1, TaskIndex: 0, Machine: 0, CPU: 0.3, MemUsed: 0.1},
+		},
+	}
+	var mb, eb, ub bytes.Buffer
+	if err := Encode(&mb, &eb, &ub, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&mb, &eb, &ub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Machines) != 1 || len(got.Events) != 3 || len(got.Usage) != 1 {
+		t.Fatalf("decoded sizes: %d machines, %d events, %d usage",
+			len(got.Machines), len(got.Events), len(got.Usage))
+	}
+	if len(got.Jobs) != 1 {
+		t.Fatalf("jobs not rebuilt: %d", len(got.Jobs))
+	}
+	if got.Jobs[0].Length() != 900 {
+		t.Fatalf("rebuilt job length %d", got.Jobs[0].Length())
+	}
+	if got.Horizon != 900 {
+		t.Fatalf("horizon %d", got.Horizon)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded trace invalid: %v", err)
+	}
+}
+
+func TestDecodeNilReaders(t *testing.T) {
+	got, err := Decode(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Machines) != 0 || len(got.Events) != 0 || len(got.Jobs) != 0 {
+		t.Fatal("nil readers should produce an empty trace")
+	}
+}

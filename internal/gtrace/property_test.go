@@ -1,0 +1,92 @@
+package gtrace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+var allEventTypes = []trace.EventType{
+	trace.EventSubmit, trace.EventSchedule, trace.EventEvict,
+	trace.EventFail, trace.EventFinish, trace.EventKill,
+	trace.EventLost, trace.EventUpdate,
+}
+
+// TestRandomEventsRoundTrip: any event survives encode/decode.
+func TestRandomEventsRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		events := make([]trace.TaskEvent, 1+s.IntN(30))
+		for i := range events {
+			machine := -1
+			if s.Bool(0.7) {
+				machine = s.IntN(10000)
+			}
+			events[i] = trace.TaskEvent{
+				Time:      s.Int64N(1 << 40),
+				JobID:     s.Int64N(1 << 50),
+				TaskIndex: s.IntN(100000),
+				Machine:   machine,
+				Type:      allEventTypes[s.IntN(len(allEventTypes))],
+				Priority:  1 + s.IntN(12),
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeEvents(&buf, events); err != nil {
+			return false
+		}
+		back, err := DecodeEvents(&buf)
+		if err != nil || len(back) != len(events) {
+			return false
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomMachinesRoundTrip: machine capacities are floats; the
+// writer uses full precision, so round trips must be exact.
+func TestRandomMachinesRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		machines := make([]trace.Machine, 1+s.IntN(20))
+		for i := range machines {
+			machines[i] = trace.Machine{
+				ID: i, CPU: s.Float64(), Memory: s.Float64(), PageCache: 1,
+			}
+			if machines[i].CPU == 0 {
+				machines[i].CPU = 0.5
+			}
+			if machines[i].Memory == 0 {
+				machines[i].Memory = 0.5
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeMachines(&buf, machines); err != nil {
+			return false
+		}
+		back, err := DecodeMachines(&buf)
+		if err != nil || len(back) != len(machines) {
+			return false
+		}
+		for i := range machines {
+			if back[i] != machines[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

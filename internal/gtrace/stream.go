@@ -1,0 +1,180 @@
+package gtrace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// EventScanner streams task_events rows one at a time, so month-scale
+// traces (the real task_events table has 144M rows) can be processed
+// without loading them into memory.
+//
+//	sc := gtrace.NewEventScanner(r)
+//	for sc.Scan() {
+//	    e := sc.Event()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type EventScanner struct {
+	cr  *csv.Reader
+	ev  trace.TaskEvent
+	err error
+}
+
+// NewEventScanner wraps a task_events CSV stream.
+func NewEventScanner(r io.Reader) *EventScanner {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 13
+	cr.ReuseRecord = true
+	return &EventScanner{cr: cr}
+}
+
+// Scan advances to the next row. It returns false at EOF or on error.
+func (s *EventScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("gtrace: read event row: %w", err)
+		return false
+	}
+	ev, err := parseEventRecord(rec)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.ev = ev
+	return true
+}
+
+// Event returns the last scanned event.
+func (s *EventScanner) Event() trace.TaskEvent { return s.ev }
+
+// Err returns the first error encountered.
+func (s *EventScanner) Err() error { return s.err }
+
+func parseEventRecord(rec []string) (trace.TaskEvent, error) {
+	var e trace.TaskEvent
+	t, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("gtrace: event time %q: %w", rec[0], err)
+	}
+	jobID, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("gtrace: job id %q: %w", rec[2], err)
+	}
+	taskIdx, err := strconv.Atoi(rec[3])
+	if err != nil {
+		return e, fmt.Errorf("gtrace: task index %q: %w", rec[3], err)
+	}
+	machine := -1
+	if rec[4] != "" {
+		machine, err = strconv.Atoi(rec[4])
+		if err != nil {
+			return e, fmt.Errorf("gtrace: machine id %q: %w", rec[4], err)
+		}
+	}
+	code, err := strconv.Atoi(rec[5])
+	if err != nil {
+		return e, fmt.Errorf("gtrace: event code %q: %w", rec[5], err)
+	}
+	et, err := EventFromCode(code)
+	if err != nil {
+		return e, err
+	}
+	prio := 0
+	if rec[8] != "" {
+		prio, err = strconv.Atoi(rec[8])
+		if err != nil {
+			return e, fmt.Errorf("gtrace: priority %q: %w", rec[8], err)
+		}
+	}
+	return trace.TaskEvent{
+		Time: t, JobID: jobID, TaskIndex: taskIdx,
+		Machine: machine, Type: et, Priority: prio,
+	}, nil
+}
+
+// UsageScanner streams task_usage rows.
+type UsageScanner struct {
+	cr  *csv.Reader
+	u   trace.UsageSample
+	err error
+}
+
+// NewUsageScanner wraps a task_usage CSV stream.
+func NewUsageScanner(r io.Reader) *UsageScanner {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 10
+	cr.ReuseRecord = true
+	return &UsageScanner{cr: cr}
+}
+
+// Scan advances to the next row. It returns false at EOF or on error.
+func (s *UsageScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("gtrace: read usage row: %w", err)
+		return false
+	}
+	u, err := parseUsageRecord(rec)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.u = u
+	return true
+}
+
+// Sample returns the last scanned sample.
+func (s *UsageScanner) Sample() trace.UsageSample { return s.u }
+
+// Err returns the first error encountered.
+func (s *UsageScanner) Err() error { return s.err }
+
+func parseUsageRecord(rec []string) (trace.UsageSample, error) {
+	var u trace.UsageSample
+	var err error
+	if u.Start, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage start %q: %w", rec[0], err)
+	}
+	if u.End, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage end %q: %w", rec[1], err)
+	}
+	if u.JobID, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage job %q: %w", rec[2], err)
+	}
+	if u.TaskIndex, err = strconv.Atoi(rec[3]); err != nil {
+		return u, fmt.Errorf("gtrace: usage task %q: %w", rec[3], err)
+	}
+	if u.Machine, err = strconv.Atoi(rec[4]); err != nil {
+		return u, fmt.Errorf("gtrace: usage machine %q: %w", rec[4], err)
+	}
+	if u.CPU, err = strconv.ParseFloat(rec[5], 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage cpu %q: %w", rec[5], err)
+	}
+	if u.MemUsed, err = strconv.ParseFloat(rec[6], 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage mem %q: %w", rec[6], err)
+	}
+	if u.MemAssigned, err = strconv.ParseFloat(rec[7], 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage assigned %q: %w", rec[7], err)
+	}
+	if u.PageCache, err = strconv.ParseFloat(rec[9], 64); err != nil {
+		return u, fmt.Errorf("gtrace: usage page cache %q: %w", rec[9], err)
+	}
+	return u, nil
+}

@@ -1,0 +1,127 @@
+package gtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestEventScannerStreams(t *testing.T) {
+	events := []trace.TaskEvent{
+		{Time: 0, JobID: 1, TaskIndex: 0, Machine: -1, Type: trace.EventSubmit, Priority: 3},
+		{Time: 5, JobID: 1, TaskIndex: 0, Machine: 2, Type: trace.EventSchedule, Priority: 3},
+		{Time: 50, JobID: 1, TaskIndex: 0, Machine: 2, Type: trace.EventFinish, Priority: 3},
+	}
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewEventScanner(&buf)
+	var got []trace.TaskEvent
+	for sc.Scan() {
+		got = append(got, sc.Event())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("scanned %d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestEventScannerStopsOnError(t *testing.T) {
+	in := "0,,1,0,,0,,,3,,,,\nBADROW\n"
+	sc := NewEventScanner(strings.NewReader(in))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scanned %d rows before error", n)
+	}
+	if sc.Err() == nil {
+		t.Fatal("error not reported")
+	}
+	// Scan after error stays false.
+	if sc.Scan() {
+		t.Fatal("scan succeeded after error")
+	}
+}
+
+func TestUsageScannerStreams(t *testing.T) {
+	usage := []trace.UsageSample{
+		{Start: 0, End: 300, JobID: 7, TaskIndex: 1, Machine: 3, CPU: 0.25, MemUsed: 0.5, MemAssigned: 0.5, PageCache: 0.125},
+		{Start: 300, End: 600, JobID: 7, TaskIndex: 1, Machine: 3, CPU: 0.5, MemUsed: 0.25, MemAssigned: 0.5, PageCache: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := EncodeUsage(&buf, usage); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewUsageScanner(&buf)
+	var got []trace.UsageSample
+	for sc.Scan() {
+		got = append(got, sc.Sample())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("scanned %d samples", len(got))
+	}
+	for i := range usage {
+		if got[i] != usage[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], usage[i])
+		}
+	}
+}
+
+func TestUsageScannerBadRow(t *testing.T) {
+	sc := NewUsageScanner(strings.NewReader("0,300,1,0,2,notafloat,0.1,0.1,0,0.1\n"))
+	if sc.Scan() {
+		t.Fatal("bad row scanned")
+	}
+	if sc.Err() == nil {
+		t.Fatal("error not reported")
+	}
+}
+
+func TestScannersMatchDecoders(t *testing.T) {
+	// The bulk decoders are defined in terms of the scanners; a large
+	// round trip must agree.
+	var events []trace.TaskEvent
+	for i := 0; i < 5000; i++ {
+		events = append(events, trace.TaskEvent{
+			Time: int64(i), JobID: int64(i % 100), TaskIndex: i % 7,
+			Machine: i % 50, Type: trace.EventSchedule, Priority: 1 + i%12,
+		})
+	}
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d of %d", len(decoded), len(events))
+	}
+	sc := NewEventScanner(bytes.NewReader(buf.Bytes()))
+	i := 0
+	for sc.Scan() {
+		if sc.Event() != decoded[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+		i++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+}

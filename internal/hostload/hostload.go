@@ -1,0 +1,386 @@
+// Package hostload implements the Section IV host-load analyses of
+// the paper: per-machine maximum-load distributions by capacity class
+// (Fig 7), queue states and task events (Fig 8), mass-count disparity
+// of unchanged running-queue-state durations (Fig 9), usage-level
+// traces (Fig 10), unchanged usage-level duration statistics (Tables
+// II-III), usage mass-count (Figs 11-12) and the Google-vs-Grid
+// host-load comparison with noise and autocorrelation (Fig 13).
+package hostload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// Attribute selects which host signal an analysis reads.
+type Attribute int
+
+// Host-load attributes, matching Fig 7's four panels.
+const (
+	CPUUsage Attribute = iota
+	MemUsed
+	MemAssigned
+	PageCache
+)
+
+// String names the attribute.
+func (a Attribute) String() string {
+	switch a {
+	case CPUUsage:
+		return "cpu"
+	case MemUsed:
+		return "memory-used"
+	case MemAssigned:
+		return "memory-assigned"
+	case PageCache:
+		return "page-cache"
+	}
+	return "attribute(?)"
+}
+
+// SeriesOf returns the machine's series for the attribute, restricted
+// to priority groups >= minGroup (LowPriority selects all tasks).
+// MemAssigned and PageCache are not split by priority, so minGroup is
+// ignored for them.
+func SeriesOf(ms *cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) *timeseries.Series {
+	switch attr {
+	case CPUUsage:
+		return ms.CPUGroups(minGroup)
+	case MemUsed:
+		return ms.MemGroups(minGroup)
+	case MemAssigned:
+		return ms.MemAssigned
+	case PageCache:
+		return ms.PageCache
+	}
+	return nil
+}
+
+// Capacity returns the machine's capacity for the attribute.
+func Capacity(m trace.Machine, attr Attribute) float64 {
+	switch attr {
+	case CPUUsage:
+		return m.CPU
+	case MemUsed, MemAssigned:
+		return m.Memory
+	case PageCache:
+		return m.PageCache
+	}
+	return math.NaN()
+}
+
+// RelativeSeries returns the series divided by the machine's capacity,
+// i.e. the paper's "relative usage level" in [0, 1].
+func RelativeSeries(ms *cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) *timeseries.Series {
+	s := SeriesOf(ms, attr, minGroup)
+	cap := Capacity(ms.Machine, attr)
+	out := &timeseries.Series{Start: s.Start, Step: s.Step, Values: make([]float64, len(s.Values))}
+	for i, v := range s.Values {
+		out.Values[i] = v / cap
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fig 7: maximum load by capacity class
+
+// MaxLoadsByClass groups machines by their capacity for the attribute
+// and collects each machine's maximum observed load (in normalised
+// units, NOT divided by capacity — the paper plots absolute normalised
+// load with the capacity classes as reference lines).
+func MaxLoadsByClass(machines []*cluster.MachineSeries, attr Attribute) map[float64][]float64 {
+	out := make(map[float64][]float64)
+	for _, ms := range machines {
+		cap := Capacity(ms.Machine, attr)
+		s := SeriesOf(ms, attr, trace.LowPriority)
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		out[cap] = append(out[cap], stats.Max(s.Values))
+	}
+	return out
+}
+
+// AtCapacityFraction returns, per capacity class, the fraction of
+// machines whose maximum load reached at least frac of capacity
+// (the paper: ">80%/70% of low/middle-CPU hosts' maxima equal their
+// capacities").
+func AtCapacityFraction(machines []*cluster.MachineSeries, attr Attribute, frac float64) map[float64]float64 {
+	byClass := MaxLoadsByClass(machines, attr)
+	out := make(map[float64]float64, len(byClass))
+	for cap, maxima := range byClass {
+		hit := 0
+		for _, m := range maxima {
+			if m >= frac*cap {
+				hit++
+			}
+		}
+		out[cap] = float64(hit) / float64(len(maxima))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8: task events and queue state on one machine
+
+// MachineEvents filters the event stream to one machine, returning
+// events ordered by time (Fig 8a).
+func MachineEvents(events []trace.TaskEvent, machineID int) []trace.TaskEvent {
+	var out []trace.TaskEvent
+	for _, e := range events {
+		if e.Machine == machineID {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// QueueState is the Fig 8b view of one machine: the running count and
+// the cumulative finished/abnormal completions over time.
+type QueueState struct {
+	Running  *timeseries.Series
+	Finished *timeseries.Series // cumulative FINISH count
+	Abnormal *timeseries.Series // cumulative EVICT+FAIL+KILL+LOST count
+}
+
+// MachineQueueState derives the queue-state series of one machine from
+// the simulator's running series and the event stream.
+func MachineQueueState(ms *cluster.MachineSeries, events []trace.TaskEvent) QueueState {
+	run := ms.Running
+	fin := &timeseries.Series{Start: run.Start, Step: run.Step, Values: make([]float64, run.Len())}
+	abn := &timeseries.Series{Start: run.Start, Step: run.Step, Values: make([]float64, run.Len())}
+	for _, e := range MachineEvents(events, ms.Machine.ID) {
+		if !e.Type.Terminal() {
+			continue
+		}
+		idx := int((e.Time - run.Start) / run.Step)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= run.Len() {
+			idx = run.Len() - 1
+		}
+		if e.Type == trace.EventFinish {
+			fin.Values[idx]++
+		} else {
+			abn.Values[idx]++
+		}
+	}
+	// Cumulative sums.
+	for i := 1; i < run.Len(); i++ {
+		fin.Values[i] += fin.Values[i-1]
+		abn.Values[i] += abn.Values[i-1]
+	}
+	return QueueState{Running: run, Finished: fin, Abnormal: abn}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9: unchanged running-queue-state durations
+
+// CountInterval is one of the paper's running-count bins ([0,9],
+// [10,19], ... [50,inf)).
+type CountInterval struct{ Lo, Hi int }
+
+// DefaultCountIntervals returns the six bins of Section IV.B.1.
+func DefaultCountIntervals() []CountInterval {
+	return []CountInterval{
+		{0, 9}, {10, 19}, {20, 29}, {30, 39}, {40, 49}, {50, math.MaxInt32},
+	}
+}
+
+// RunningStateDurations collects, across all machines, the durations
+// (seconds) of maximal runs during which the (rounded) running-task
+// count stays inside each interval.
+func RunningStateDurations(machines []*cluster.MachineSeries, intervals []CountInterval) map[CountInterval][]float64 {
+	out := make(map[CountInterval][]float64, len(intervals))
+	binOf := func(count int) int {
+		for bi, iv := range intervals {
+			if count >= iv.Lo && count <= iv.Hi {
+				return bi
+			}
+		}
+		return -1
+	}
+	for _, ms := range machines {
+		run := ms.Running
+		if run.Len() == 0 {
+			continue
+		}
+		levels := make([]int, run.Len())
+		for i, v := range run.Values {
+			levels[i] = binOf(int(v + 0.5))
+		}
+		for _, seg := range run.SegmentsOf(levels) {
+			if seg.Level < 0 {
+				continue
+			}
+			iv := intervals[seg.Level]
+			out[iv] = append(out[iv], float64(seg.Duration))
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10 + Tables II-III: usage levels
+
+// UsageLevels is the number of equal usage intervals the paper uses
+// ([0,0.2), [0.2,0.4), ... [0.8,1]).
+const UsageLevels = 5
+
+// LevelTrace quantises one machine's relative usage into the five
+// levels (the coloured rows of Fig 10).
+func LevelTrace(ms *cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) []int {
+	return RelativeSeries(ms, attr, minGroup).Quantize(UsageLevels)
+}
+
+// LevelDurations collects, across machines, the durations (seconds) of
+// maximal runs during which the relative usage stays inside each of
+// the five levels (the rows of Tables II and III).
+func LevelDurations(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) [UsageLevels][]float64 {
+	var out [UsageLevels][]float64
+	for _, ms := range machines {
+		rel := RelativeSeries(ms, attr, minGroup)
+		for _, seg := range rel.LevelSegments(UsageLevels) {
+			out[seg.Level] = append(out[seg.Level], float64(seg.Duration))
+		}
+	}
+	return out
+}
+
+// UsageSamples flattens all machines' relative usage samples into one
+// slice of percentages in [0, 100] (Figs 11-12 x-axis).
+func UsageSamples(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) []float64 {
+	var out []float64
+	for _, ms := range machines {
+		rel := RelativeSeries(ms, attr, minGroup)
+		for _, v := range rel.Values {
+			p := v * 100
+			if p < 0 {
+				p = 0
+			}
+			if p > 100 {
+				p = 100
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fig 13: noise and autocorrelation
+
+// NoiseStats summarises per-machine noise measurements.
+type NoiseStats struct {
+	Min, Mean, Max float64
+	N              int
+}
+
+// Noise measures each machine's relative-CPU noise with a mean filter
+// of the given half-width and summarises across machines, mirroring
+// the paper's min/mean/max noise comparison.
+func Noise(machines []*cluster.MachineSeries, attr Attribute, half int) NoiseStats {
+	var vals []float64
+	for _, ms := range machines {
+		rel := RelativeSeries(ms, attr, trace.LowPriority)
+		if n := rel.Noise(half); !math.IsNaN(n) {
+			vals = append(vals, n)
+		}
+	}
+	if len(vals) == 0 {
+		return NoiseStats{}
+	}
+	return NoiseStats{
+		Min:  stats.Min(vals),
+		Mean: stats.Mean(vals),
+		Max:  stats.Max(vals),
+		N:    len(vals),
+	}
+}
+
+// SeriesNoise summarises noise over raw series (used for the synthetic
+// Grid host models, which are already relative).
+func SeriesNoise(series []*timeseries.Series, half int) NoiseStats {
+	var vals []float64
+	for _, s := range series {
+		if n := s.Noise(half); !math.IsNaN(n) {
+			vals = append(vals, n)
+		}
+	}
+	if len(vals) == 0 {
+		return NoiseStats{}
+	}
+	return NoiseStats{
+		Min:  stats.Min(vals),
+		Mean: stats.Mean(vals),
+		Max:  stats.Max(vals),
+		N:    len(vals),
+	}
+}
+
+// MeanAutocorrelation returns the mean lag-k autocorrelation of the
+// machines' relative usage.
+func MeanAutocorrelation(machines []*cluster.MachineSeries, attr Attribute, lag int) float64 {
+	var vals []float64
+	for _, ms := range machines {
+		rel := RelativeSeries(ms, attr, trace.LowPriority)
+		if ac := rel.Autocorrelation(lag); !math.IsNaN(ac) {
+			vals = append(vals, ac)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// MeanSeriesAutocorrelation is the raw-series analogue for the Grid
+// host models.
+func MeanSeriesAutocorrelation(series []*timeseries.Series, lag int) float64 {
+	var vals []float64
+	for _, s := range series {
+		if ac := s.Autocorrelation(lag); !math.IsNaN(ac) {
+			vals = append(vals, ac)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// CPUMemCorrelation returns the mean per-machine Pearson correlation
+// between relative CPU and memory usage. Grid hosts, whose single job
+// drives both, correlate strongly; Google hosts mix CPU-light services
+// with CPU-heavy batch, decoupling the two signals.
+func CPUMemCorrelation(machines []*cluster.MachineSeries) float64 {
+	var vals []float64
+	for _, ms := range machines {
+		cpu := RelativeSeries(ms, CPUUsage, trace.LowPriority)
+		mem := RelativeSeries(ms, MemUsed, trace.LowPriority)
+		if c := stats.Correlation(cpu.Values, mem.Values); !math.IsNaN(c) {
+			vals = append(vals, c)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// MeanRelativeUsage returns the average relative usage across all
+// machines and samples (the paper: CPU ~35% overall, ~20% for
+// high-priority tasks; memory ~60% and ~50%).
+func MeanRelativeUsage(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) float64 {
+	var sum float64
+	var n int
+	for _, ms := range machines {
+		rel := RelativeSeries(ms, attr, minGroup)
+		for _, v := range rel.Values {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

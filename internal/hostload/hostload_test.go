@@ -1,0 +1,233 @@
+package hostload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// fakeMachine builds a MachineSeries with prescribed group signals.
+func fakeMachine(id int, cpuCap, memCap float64, step int64, cpuLow, cpuMid, cpuHigh []float64) *cluster.MachineSeries {
+	mk := func(vs []float64) *timeseries.Series {
+		return &timeseries.Series{Start: 0, Step: step, Values: append([]float64(nil), vs...)}
+	}
+	zeros := make([]float64, len(cpuLow))
+	ms := &cluster.MachineSeries{
+		Machine: trace.Machine{ID: id, CPU: cpuCap, Memory: memCap, PageCache: 1},
+	}
+	ms.CPUByGroup[0] = mk(cpuLow)
+	ms.CPUByGroup[1] = mk(cpuMid)
+	ms.CPUByGroup[2] = mk(cpuHigh)
+	for g := 0; g < 3; g++ {
+		ms.MemByGroup[g] = mk(zeros)
+	}
+	ms.MemAssigned = mk(zeros)
+	ms.PageCache = mk(zeros)
+	ms.Running = mk(zeros)
+	return ms
+}
+
+func TestSeriesOfGroups(t *testing.T) {
+	ms := fakeMachine(0, 1, 1, 300,
+		[]float64{0.1, 0.1}, []float64{0.2, 0.2}, []float64{0.3, 0.3})
+	all := SeriesOf(ms, CPUUsage, trace.LowPriority)
+	if math.Abs(all.Values[0]-0.6) > 1e-12 {
+		t.Fatalf("all-groups CPU %v", all.Values[0])
+	}
+	midHigh := SeriesOf(ms, CPUUsage, trace.MiddlePriority)
+	if math.Abs(midHigh.Values[0]-0.5) > 1e-12 {
+		t.Fatalf("mid+high CPU %v", midHigh.Values[0])
+	}
+	high := SeriesOf(ms, CPUUsage, trace.HighPriority)
+	if math.Abs(high.Values[0]-0.3) > 1e-12 {
+		t.Fatalf("high CPU %v", high.Values[0])
+	}
+}
+
+func TestCapacityAndRelative(t *testing.T) {
+	ms := fakeMachine(0, 0.5, 0.25, 300,
+		[]float64{0.25, 0.5}, []float64{0, 0}, []float64{0, 0})
+	if Capacity(ms.Machine, CPUUsage) != 0.5 || Capacity(ms.Machine, MemUsed) != 0.25 ||
+		Capacity(ms.Machine, MemAssigned) != 0.25 || Capacity(ms.Machine, PageCache) != 1 {
+		t.Fatal("capacity lookup wrong")
+	}
+	rel := RelativeSeries(ms, CPUUsage, trace.LowPriority)
+	if rel.Values[0] != 0.5 || rel.Values[1] != 1 {
+		t.Fatalf("relative series %v", rel.Values)
+	}
+}
+
+func TestAttributeNames(t *testing.T) {
+	if CPUUsage.String() != "cpu" || MemUsed.String() != "memory-used" ||
+		MemAssigned.String() != "memory-assigned" || PageCache.String() != "page-cache" {
+		t.Fatal("attribute names wrong")
+	}
+}
+
+func TestMaxLoadsByClass(t *testing.T) {
+	a := fakeMachine(0, 0.5, 1, 300, []float64{0.1, 0.45}, []float64{0, 0}, []float64{0, 0})
+	b := fakeMachine(1, 0.5, 1, 300, []float64{0.2, 0.3}, []float64{0, 0}, []float64{0, 0})
+	c := fakeMachine(2, 1.0, 1, 300, []float64{0.9, 0.2}, []float64{0, 0}, []float64{0, 0})
+	byClass := MaxLoadsByClass([]*cluster.MachineSeries{a, b, c}, CPUUsage)
+	if len(byClass[0.5]) != 2 || len(byClass[1.0]) != 1 {
+		t.Fatalf("class grouping %v", byClass)
+	}
+	if byClass[0.5][0] != 0.45 || byClass[1.0][0] != 0.9 {
+		t.Fatalf("maxima %v", byClass)
+	}
+}
+
+func TestAtCapacityFraction(t *testing.T) {
+	a := fakeMachine(0, 0.5, 1, 300, []float64{0.5}, []float64{0}, []float64{0})
+	b := fakeMachine(1, 0.5, 1, 300, []float64{0.2}, []float64{0}, []float64{0})
+	frac := AtCapacityFraction([]*cluster.MachineSeries{a, b}, CPUUsage, 0.99)
+	if frac[0.5] != 0.5 {
+		t.Fatalf("at-capacity fraction %v", frac)
+	}
+}
+
+func TestMachineEventsAndQueueState(t *testing.T) {
+	ms := fakeMachine(3, 1, 1, 300, make([]float64, 10), make([]float64, 10), make([]float64, 10))
+	events := []trace.TaskEvent{
+		{Time: 100, JobID: 1, Machine: 3, Type: trace.EventSchedule},
+		{Time: 700, JobID: 1, Machine: 3, Type: trace.EventFinish},
+		{Time: 900, JobID: 2, Machine: 3, Type: trace.EventFail},
+		{Time: 500, JobID: 9, Machine: 8, Type: trace.EventFinish}, // other machine
+	}
+	me := MachineEvents(events, 3)
+	if len(me) != 3 {
+		t.Fatalf("machine events %v", me)
+	}
+	if me[0].Time != 100 {
+		t.Fatal("events not sorted")
+	}
+	qs := MachineQueueState(ms, events)
+	// Finished becomes 1 from window 2 (t=700) onward.
+	if qs.Finished.Values[1] != 0 || qs.Finished.Values[2] != 1 || qs.Finished.Values[9] != 1 {
+		t.Fatalf("finished cumulative %v", qs.Finished.Values)
+	}
+	if qs.Abnormal.Values[9] != 1 {
+		t.Fatalf("abnormal cumulative %v", qs.Abnormal.Values)
+	}
+}
+
+func TestRunningStateDurations(t *testing.T) {
+	run := []float64{5, 5, 15, 15, 15, 25, 45, 45, 60}
+	ms := fakeMachine(0, 1, 1, 300, make([]float64, 9), make([]float64, 9), make([]float64, 9))
+	ms.Running = &timeseries.Series{Start: 0, Step: 300, Values: run}
+	durs := RunningStateDurations([]*cluster.MachineSeries{ms}, DefaultCountIntervals())
+	iv := DefaultCountIntervals()
+	if d := durs[iv[0]]; len(d) != 1 || d[0] != 600 {
+		t.Fatalf("[0,9] durations %v", d)
+	}
+	if d := durs[iv[1]]; len(d) != 1 || d[0] != 900 {
+		t.Fatalf("[10,19] durations %v", d)
+	}
+	if d := durs[iv[2]]; len(d) != 1 || d[0] != 300 {
+		t.Fatalf("[20,29] durations %v", d)
+	}
+	if d := durs[iv[4]]; len(d) != 1 || d[0] != 600 {
+		t.Fatalf("[40,49] durations %v", d)
+	}
+	if d := durs[iv[5]]; len(d) != 1 || d[0] != 300 {
+		t.Fatalf("[50,inf) durations %v", d)
+	}
+}
+
+func TestLevelTraceAndDurations(t *testing.T) {
+	ms := fakeMachine(0, 0.5, 1, 300,
+		[]float64{0.05, 0.05, 0.25, 0.25, 0.45}, // relative: 0.1,0.1,0.5,0.5,0.9
+		[]float64{0, 0, 0, 0, 0}, []float64{0, 0, 0, 0, 0})
+	levels := LevelTrace(ms, CPUUsage, trace.LowPriority)
+	want := []int{0, 0, 2, 2, 4}
+	for i, l := range levels {
+		if l != want[i] {
+			t.Fatalf("levels %v, want %v", levels, want)
+		}
+	}
+	durs := LevelDurations([]*cluster.MachineSeries{ms}, CPUUsage, trace.LowPriority)
+	if len(durs[0]) != 1 || durs[0][0] != 600 {
+		t.Fatalf("level 0 durations %v", durs[0])
+	}
+	if len(durs[2]) != 1 || durs[2][0] != 600 {
+		t.Fatalf("level 2 durations %v", durs[2])
+	}
+	if len(durs[4]) != 1 || durs[4][0] != 300 {
+		t.Fatalf("level 4 durations %v", durs[4])
+	}
+}
+
+func TestUsageSamplesAndMean(t *testing.T) {
+	ms := fakeMachine(0, 0.5, 1, 300,
+		[]float64{0.1, 0.4}, []float64{0, 0}, []float64{0, 0})
+	samples := UsageSamples([]*cluster.MachineSeries{ms}, CPUUsage, trace.LowPriority)
+	if len(samples) != 2 || samples[0] != 20 || samples[1] != 80 {
+		t.Fatalf("usage samples %v", samples)
+	}
+	mean := MeanRelativeUsage([]*cluster.MachineSeries{ms}, CPUUsage, trace.LowPriority)
+	if math.Abs(mean-0.5) > 1e-12 {
+		t.Fatalf("mean usage %v", mean)
+	}
+}
+
+func TestNoiseComparisonGoogleVsGrid(t *testing.T) {
+	// End-to-end: Google noise from the simulator must dwarf the
+	// synthetic Grid host's (the paper's ~20x observation).
+	machines := synth.GoogleMachines(20, rng.New(1))
+	horizon := int64(2 * 86400)
+	cfg := cluster.DefaultConfig(machines, horizon)
+	gcfg := synth.ScaledGoogleConfig(len(machines), horizon)
+	tasks := synth.GenerateGoogleTasks(gcfg, rng.New(2))
+	res, err := cluster.Simulate(cfg, tasks, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gNoise := Noise(res.Machines, CPUUsage, 2)
+	if gNoise.N == 0 || gNoise.Mean <= 0 {
+		t.Fatalf("google noise %+v", gNoise)
+	}
+
+	var gridCPU []*timeseries.Series
+	for i := 0; i < 20; i++ {
+		cpu, _ := synth.GridHostSeries(synth.DefaultGridHost("AuverGrid"), horizon, rng.New(uint64(10+i)))
+		gridCPU = append(gridCPU, cpu)
+	}
+	agNoise := SeriesNoise(gridCPU, 2)
+	if agNoise.N != 20 {
+		t.Fatalf("grid noise %+v", agNoise)
+	}
+	ratio := gNoise.Mean / agNoise.Mean
+	if ratio < 5 {
+		t.Errorf("noise ratio %v, want Google >> Grid (paper: ~20x)", ratio)
+	}
+
+	// Autocorrelation: grid hosts are stable, Google hosts are not.
+	gAC := MeanAutocorrelation(res.Machines, CPUUsage, 1)
+	agAC := MeanSeriesAutocorrelation(gridCPU, 1)
+	if agAC < 0.8 {
+		t.Errorf("grid autocorrelation %v, want high", agAC)
+	}
+	if gAC >= agAC {
+		t.Errorf("google autocorrelation %v should be below grid %v", gAC, agAC)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if n := Noise(nil, CPUUsage, 2); n.N != 0 {
+		t.Fatal("empty noise should be zero")
+	}
+	if n := SeriesNoise(nil, 2); n.N != 0 {
+		t.Fatal("empty series noise should be zero")
+	}
+	if !math.IsNaN(MeanRelativeUsage(nil, CPUUsage, trace.LowPriority)) {
+		t.Fatal("empty mean usage should be NaN")
+	}
+	if got := MaxLoadsByClass(nil, CPUUsage); len(got) != 0 {
+		t.Fatal("empty max loads should be empty")
+	}
+}

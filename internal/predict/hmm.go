@@ -1,0 +1,348 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// HMM is a discrete hidden Markov model over quantised usage levels,
+// trained with the Baum-Welch algorithm (with per-step scaling). It is
+// the modelling approach of Khan et al. ("Workload characterization
+// and prediction in the cloud: a multiple time series approach"),
+// which the paper discusses as the natural next step after its
+// characterization: latent regimes (idle, busy, bursty) drive the
+// observable load levels.
+type HMM struct {
+	States int // hidden states
+	Levels int // observation alphabet size (usage levels)
+
+	Pi []float64   // initial state distribution
+	A  [][]float64 // transition probabilities [from][to]
+	B  [][]float64 // emission probabilities [state][level]
+}
+
+// NewHMM initialises a model with slightly perturbed uniform
+// parameters (exact uniformity is a saddle point for Baum-Welch).
+func NewHMM(states, levels int, s *rng.Stream) (*HMM, error) {
+	if states < 1 || levels < 2 {
+		return nil, fmt.Errorf("predict: hmm needs states >= 1 and levels >= 2")
+	}
+	h := &HMM{States: states, Levels: levels}
+	h.Pi = randomDist(states, s)
+	h.A = make([][]float64, states)
+	h.B = make([][]float64, states)
+	for i := 0; i < states; i++ {
+		h.A[i] = randomDist(states, s)
+		h.B[i] = randomDist(levels, s)
+	}
+	return h, nil
+}
+
+func randomDist(n int, s *rng.Stream) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		out[i] = 0.2 + s.Float64()
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// forward computes scaled forward variables. alpha[t][i] is
+// P(state=i | obs[0..t]) under the scaling; the log-likelihood is the
+// negated sum of log scales.
+func (h *HMM) forward(obs []int) (alpha [][]float64, logLik float64, err error) {
+	T := len(obs)
+	if T == 0 {
+		return nil, 0, fmt.Errorf("predict: empty observation sequence")
+	}
+	for _, o := range obs {
+		if o < 0 || o >= h.Levels {
+			return nil, 0, fmt.Errorf("predict: observation %d outside alphabet [0,%d)", o, h.Levels)
+		}
+	}
+	alpha = make([][]float64, T)
+	alpha[0] = make([]float64, h.States)
+	var c float64
+	for i := 0; i < h.States; i++ {
+		alpha[0][i] = h.Pi[i] * h.B[i][obs[0]]
+		c += alpha[0][i]
+	}
+	if c == 0 {
+		return nil, 0, fmt.Errorf("predict: impossible first observation")
+	}
+	logLik = math.Log(c)
+	for i := range alpha[0] {
+		alpha[0][i] /= c
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, h.States)
+		c = 0
+		for j := 0; j < h.States; j++ {
+			var s float64
+			for i := 0; i < h.States; i++ {
+				s += alpha[t-1][i] * h.A[i][j]
+			}
+			alpha[t][j] = s * h.B[j][obs[t]]
+			c += alpha[t][j]
+		}
+		if c == 0 {
+			return nil, 0, fmt.Errorf("predict: impossible observation at %d", t)
+		}
+		logLik += math.Log(c)
+		for j := range alpha[t] {
+			alpha[t][j] /= c
+		}
+	}
+	return alpha, logLik, nil
+}
+
+// backward computes the scaled backward variables matching forward's
+// scaling (each step renormalised to sum 1).
+func (h *HMM) backward(obs []int) [][]float64 {
+	T := len(obs)
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, h.States)
+	for i := range beta[T-1] {
+		beta[T-1][i] = 1
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, h.States)
+		var c float64
+		for i := 0; i < h.States; i++ {
+			var s float64
+			for j := 0; j < h.States; j++ {
+				s += h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = s
+			c += s
+		}
+		if c > 0 {
+			for i := range beta[t] {
+				beta[t][i] /= c
+			}
+		}
+	}
+	return beta
+}
+
+// LogLikelihood returns log P(obs | model).
+func (h *HMM) LogLikelihood(obs []int) (float64, error) {
+	_, ll, err := h.forward(obs)
+	return ll, err
+}
+
+// Train runs Baum-Welch for at most iters iterations, stopping early
+// when the log-likelihood improves by less than tol. It returns the
+// final log-likelihood.
+func (h *HMM) Train(obs []int, iters int, tol float64) (float64, error) {
+	if len(obs) < 3 {
+		return 0, fmt.Errorf("predict: need at least 3 observations")
+	}
+	prev := math.Inf(-1)
+	var ll float64
+	for it := 0; it < iters; it++ {
+		alpha, l, err := h.forward(obs)
+		if err != nil {
+			return 0, err
+		}
+		ll = l
+		beta := h.backward(obs)
+		T := len(obs)
+
+		// gamma[t][i] ∝ alpha[t][i] * beta[t][i]
+		gamma := make([][]float64, T)
+		for t := 0; t < T; t++ {
+			gamma[t] = make([]float64, h.States)
+			var c float64
+			for i := 0; i < h.States; i++ {
+				gamma[t][i] = alpha[t][i] * beta[t][i]
+				c += gamma[t][i]
+			}
+			if c > 0 {
+				for i := range gamma[t] {
+					gamma[t][i] /= c
+				}
+			}
+		}
+
+		// Re-estimate transitions.
+		newA := make([][]float64, h.States)
+		for i := 0; i < h.States; i++ {
+			newA[i] = make([]float64, h.States)
+			var den float64
+			for t := 0; t < T-1; t++ {
+				// xi[t][i][j] ∝ alpha[t][i] A[i][j] B[j][o+1] beta[t+1][j]
+				var rowSum float64
+				row := make([]float64, h.States)
+				for j := 0; j < h.States; j++ {
+					row[j] = alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+					rowSum += row[j]
+				}
+				// Normalise xi by the total over all i,j at time t; using
+				// gamma keeps the scaling consistent:
+				var tot float64
+				for ii := 0; ii < h.States; ii++ {
+					for j := 0; j < h.States; j++ {
+						tot += alpha[t][ii] * h.A[ii][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+					}
+				}
+				if tot > 0 {
+					for j := 0; j < h.States; j++ {
+						newA[i][j] += row[j] / tot
+					}
+					den += rowSum / tot
+				}
+			}
+			if den > 0 {
+				for j := range newA[i] {
+					newA[i][j] /= den
+				}
+			} else {
+				copy(newA[i], h.A[i])
+			}
+		}
+
+		// Re-estimate emissions and initials.
+		newB := make([][]float64, h.States)
+		for i := 0; i < h.States; i++ {
+			newB[i] = make([]float64, h.Levels)
+			var den float64
+			for t := 0; t < T; t++ {
+				newB[i][obs[t]] += gamma[t][i]
+				den += gamma[t][i]
+			}
+			if den > 0 {
+				for k := range newB[i] {
+					newB[i][k] /= den
+				}
+			} else {
+				copy(newB[i], h.B[i])
+			}
+			// Floor to keep the model able to explain unseen levels.
+			const floor = 1e-6
+			var c float64
+			for k := range newB[i] {
+				if newB[i][k] < floor {
+					newB[i][k] = floor
+				}
+				c += newB[i][k]
+			}
+			for k := range newB[i] {
+				newB[i][k] /= c
+			}
+		}
+		copy(h.Pi, gamma[0])
+		h.A, h.B = newA, newB
+
+		if ll-prev < tol && it > 0 {
+			break
+		}
+		prev = ll
+	}
+	return ll, nil
+}
+
+// PredictNextLevel returns the most probable next observation level
+// given the history: argmax_k sum_i P(state_i | obs) sum_j A[i][j] B[j][k].
+func (h *HMM) PredictNextLevel(obs []int) (int, error) {
+	alpha, _, err := h.forward(obs)
+	if err != nil {
+		return 0, err
+	}
+	cur := alpha[len(obs)-1]
+	best, bestP := 0, -1.0
+	for k := 0; k < h.Levels; k++ {
+		var p float64
+		for i := 0; i < h.States; i++ {
+			for j := 0; j < h.States; j++ {
+				p += cur[i] * h.A[i][j] * h.B[j][k]
+			}
+		}
+		if p > bestP {
+			best, bestP = k, p
+		}
+	}
+	return best, nil
+}
+
+// HMMPredictor adapts the HMM to the Predictor interface: it quantises
+// the history into Levels bins, trains on the trailing Window samples
+// (retraining every Retrain steps to amortise Baum-Welch), and
+// predicts the midpoint of the most probable next level.
+// Not safe for concurrent use.
+type HMMPredictor struct {
+	StatesN int
+	Levels  int
+	Window  int
+	Retrain int
+	Seed    uint64
+
+	model     *HMM
+	trainedAt int
+}
+
+// Name implements Predictor.
+func (p *HMMPredictor) Name() string {
+	return fmt.Sprintf("hmm(%d states,%d levels)", p.StatesN, p.Levels)
+}
+
+// Predict implements Predictor.
+func (p *HMMPredictor) Predict(h []float64) float64 {
+	levels := p.Levels
+	if levels < 2 {
+		levels = 5
+	}
+	states := p.StatesN
+	if states < 1 {
+		states = 3
+	}
+	w := p.Window
+	if w < 12 {
+		w = 288
+	}
+	retrain := p.Retrain
+	if retrain < 1 {
+		retrain = 144
+	}
+	lo := len(h) - w
+	if lo < 0 {
+		lo = 0
+	}
+	win := h[lo:]
+	obs := make([]int, len(win))
+	for i, v := range win {
+		l := int(v * float64(levels))
+		if l < 0 {
+			l = 0
+		}
+		if l >= levels {
+			l = levels - 1
+		}
+		obs[i] = l
+	}
+	if len(obs) < 6 {
+		return h[len(h)-1]
+	}
+	if p.model == nil || len(h)-p.trainedAt >= retrain {
+		m, err := NewHMM(states, levels, rng.New(p.Seed+1))
+		if err != nil {
+			return h[len(h)-1]
+		}
+		if _, err := m.Train(obs, 15, 1e-3); err != nil {
+			return h[len(h)-1]
+		}
+		p.model = m
+		p.trainedAt = len(h)
+	}
+	next, err := p.model.PredictNextLevel(obs)
+	if err != nil {
+		return h[len(h)-1]
+	}
+	return (float64(next) + 0.5) / float64(levels)
+}

@@ -1,0 +1,187 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewHMMValidation(t *testing.T) {
+	if _, err := NewHMM(0, 5, rng.New(1)); err == nil {
+		t.Error("zero states accepted")
+	}
+	if _, err := NewHMM(2, 1, rng.New(1)); err == nil {
+		t.Error("single-level alphabet accepted")
+	}
+	h, err := NewHMM(3, 5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All parameter rows are distributions.
+	checkDist := func(name string, d []float64) {
+		var sum float64
+		for _, v := range d {
+			if v < 0 {
+				t.Fatalf("%s has negative entry", name)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s sums to %v", name, sum)
+		}
+	}
+	checkDist("pi", h.Pi)
+	for i := range h.A {
+		checkDist("A", h.A[i])
+		checkDist("B", h.B[i])
+	}
+}
+
+// twoRegimeObs builds a sequence that alternates between a low regime
+// (levels 0/1) and a high regime (levels 3/4) with long dwell times.
+func twoRegimeObs(n int, seed uint64) []int {
+	s := rng.New(seed)
+	obs := make([]int, n)
+	high := false
+	for i := range obs {
+		if s.Bool(0.02) {
+			high = !high
+		}
+		if high {
+			obs[i] = 3 + s.IntN(2)
+		} else {
+			obs[i] = s.IntN(2)
+		}
+	}
+	return obs
+}
+
+func TestTrainIncreasesLikelihood(t *testing.T) {
+	obs := twoRegimeObs(800, 2)
+	h, err := NewHMM(2, 5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := h.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := h.Train(obs, 25, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("training did not improve likelihood: %v -> %v", before, after)
+	}
+	// Parameters stay proper distributions.
+	for i := range h.A {
+		var sa, sb float64
+		for _, v := range h.A[i] {
+			sa += v
+		}
+		for _, v := range h.B[i] {
+			sb += v
+		}
+		if math.Abs(sa-1) > 1e-6 || math.Abs(sb-1) > 1e-6 {
+			t.Fatalf("rows not normalised: A %v B %v", sa, sb)
+		}
+	}
+}
+
+func TestTrainedHMMSeparatesRegimes(t *testing.T) {
+	obs := twoRegimeObs(1500, 4)
+	h, err := NewHMM(2, 5, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Train(obs, 40, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// One state should emit mostly low levels, the other mostly high.
+	lowMass := func(b []float64) float64 { return b[0] + b[1] }
+	m0, m1 := lowMass(h.B[0]), lowMass(h.B[1])
+	if !(m0 > 0.8 && m1 < 0.2) && !(m1 > 0.8 && m0 < 0.2) {
+		t.Fatalf("states did not separate regimes: lowMass = %v, %v", m0, m1)
+	}
+	// Dwell times are long: self-transitions dominate.
+	if h.A[0][0] < 0.8 || h.A[1][1] < 0.8 {
+		t.Fatalf("self-transitions too weak: %v %v", h.A[0][0], h.A[1][1])
+	}
+}
+
+func TestPredictNextLevelPersistence(t *testing.T) {
+	obs := twoRegimeObs(1500, 6)
+	h, err := NewHMM(2, 5, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Train(obs, 40, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// After a long run of high observations the next level should be
+	// high too.
+	highTail := append(append([]int{}, obs...), 4, 3, 4, 4, 3, 4, 4, 4)
+	next, err := h.PredictNextLevel(highTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next < 3 {
+		t.Fatalf("predicted level %d after a high run, want >= 3", next)
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	h, _ := NewHMM(2, 3, rng.New(8))
+	if _, err := h.LogLikelihood(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := h.LogLikelihood([]int{0, 7}); err == nil {
+		t.Error("out-of-alphabet observation accepted")
+	}
+	if _, err := h.Train([]int{1, 2}, 5, 1e-6); err == nil {
+		t.Error("too-short training sequence accepted")
+	}
+}
+
+func TestHMMPredictorInterface(t *testing.T) {
+	var p Predictor = &HMMPredictor{StatesN: 2, Levels: 5, Window: 200, Retrain: 50, Seed: 9}
+	if p.Name() == "" {
+		t.Fatal("no name")
+	}
+	// Square-wave load: the predictor should stay near the current
+	// plateau most of the time.
+	var h []float64
+	for i := 0; i < 600; i++ {
+		if (i/100)%2 == 0 {
+			h = append(h, 0.1)
+		} else {
+			h = append(h, 0.9)
+		}
+	}
+	pred := p.Predict(h) // history ends mid-plateau at 0.9
+	if math.Abs(pred-0.9) > 0.25 {
+		t.Fatalf("plateau prediction %v, want near 0.9", pred)
+	}
+	// Tiny histories fall back to persistence.
+	if got := p.Predict([]float64{0.3, 0.4}); got != 0.4 {
+		t.Fatalf("short-history fallback %v", got)
+	}
+}
+
+func TestHMMPredictorInSuiteEvaluation(t *testing.T) {
+	// The HMM predictor must run through the evaluation harness and
+	// produce a sane error on a stable signal.
+	vs := make([]float64, 400)
+	for i := range vs {
+		vs[i] = 0.5
+	}
+	s := series(vs)
+	e := Evaluate(&HMMPredictor{StatesN: 2, Levels: 5, Window: 100, Retrain: 100, Seed: 1}, s, 50)
+	if e.N == 0 {
+		t.Fatal("no evaluations")
+	}
+	if e.MAE > 0.15 {
+		t.Fatalf("MAE %v on constant signal", e.MAE)
+	}
+}

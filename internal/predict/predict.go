@@ -1,0 +1,341 @@
+// Package predict implements the host-load prediction methods the
+// paper motivates in its conclusion ("we will try to exploit the
+// best-fit load prediction method based on our characterization
+// work"), plus the evaluation harness to select the best-fit method
+// per host population.
+//
+// Predictors forecast the next 5-minute sample of a relative-usage
+// series. The characterization explains what to expect: Grid host load
+// (autocorrelation ≈ 0.98, noise ≈ 0.001) rewards persistence-style
+// predictors, while Google host load (noise ~20x higher) punishes them
+// and favours smoothing.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// Predictor forecasts the next sample from the history so far.
+// History always contains at least one sample.
+type Predictor interface {
+	Name() string
+	Predict(history []float64) float64
+}
+
+// ---------------------------------------------------------------------------
+// predictors
+
+// LastValue predicts the most recent observation (persistence).
+type LastValue struct{}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last-value" }
+
+// Predict implements Predictor.
+func (LastValue) Predict(h []float64) float64 { return h[len(h)-1] }
+
+// MovingAverage predicts the mean of the last Window samples.
+type MovingAverage struct{ Window int }
+
+// Name implements Predictor.
+func (m MovingAverage) Name() string { return fmt.Sprintf("moving-average(%d)", m.Window) }
+
+// Predict implements Predictor.
+func (m MovingAverage) Predict(h []float64) float64 {
+	w := m.Window
+	if w < 1 {
+		w = 1
+	}
+	lo := len(h) - w
+	if lo < 0 {
+		lo = 0
+	}
+	var s float64
+	for _, v := range h[lo:] {
+		s += v
+	}
+	return s / float64(len(h)-lo)
+}
+
+// ExpSmoothing predicts with simple exponential smoothing
+// s_t = alpha*x_t + (1-alpha)*s_{t-1}.
+type ExpSmoothing struct{ Alpha float64 }
+
+// Name implements Predictor.
+func (e ExpSmoothing) Name() string { return fmt.Sprintf("exp-smoothing(%.2f)", e.Alpha) }
+
+// Predict implements Predictor.
+func (e ExpSmoothing) Predict(h []float64) float64 {
+	s := h[0]
+	for _, v := range h[1:] {
+		s = e.Alpha*v + (1-e.Alpha)*s
+	}
+	return s
+}
+
+// AR1 fits x_{t+1} = a + b*x_t by least squares over the trailing
+// Window samples and extrapolates one step. Degenerate fits (zero
+// variance) fall back to persistence.
+type AR1 struct{ Window int }
+
+// Name implements Predictor.
+func (a AR1) Name() string { return fmt.Sprintf("ar1(%d)", a.Window) }
+
+// Predict implements Predictor.
+func (a AR1) Predict(h []float64) float64 {
+	w := a.Window
+	if w < 3 {
+		w = 3
+	}
+	lo := len(h) - w
+	if lo < 0 {
+		lo = 0
+	}
+	win := h[lo:]
+	if len(win) < 3 {
+		return h[len(h)-1]
+	}
+	// Pairs (win[i], win[i+1]).
+	n := float64(len(win) - 1)
+	var sx, sy, sxx, sxy float64
+	for i := 0; i+1 < len(win); i++ {
+		x, y := win[i], win[i+1]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return h[len(h)-1]
+	}
+	b := (n*sxy - sx*sy) / den
+	// Stationarity clamp: |b| > 1 makes iterated (multi-step)
+	// forecasts diverge on near-random-walk samples.
+	if b > 1 {
+		b = 1
+	}
+	if b < -1 {
+		b = -1
+	}
+	aa := (sy - b*sx) / n
+	return aa + b*h[len(h)-1]
+}
+
+// MarkovLevel quantises the history into Levels usage levels, builds a
+// first-order transition matrix over the trailing Window samples and
+// predicts the midpoint of the most likely next level. This is the
+// level-state prediction the paper's Section IV analysis suggests
+// (load levels persist; transitions are what matter).
+type MarkovLevel struct {
+	Levels int
+	Window int
+}
+
+// Name implements Predictor.
+func (m MarkovLevel) Name() string { return fmt.Sprintf("markov-level(%d,%d)", m.Levels, m.Window) }
+
+// Predict implements Predictor.
+func (m MarkovLevel) Predict(h []float64) float64 {
+	levels := m.Levels
+	if levels < 2 {
+		levels = 2
+	}
+	w := m.Window
+	if w < 4 {
+		w = 4
+	}
+	lo := len(h) - w
+	if lo < 0 {
+		lo = 0
+	}
+	win := h[lo:]
+	quant := func(v float64) int {
+		l := int(v * float64(levels))
+		if l < 0 {
+			l = 0
+		}
+		if l >= levels {
+			l = levels - 1
+		}
+		return l
+	}
+	cur := quant(win[len(win)-1])
+	counts := make([]int, levels)
+	seen := false
+	for i := 0; i+1 < len(win); i++ {
+		if quant(win[i]) == cur {
+			counts[quant(win[i+1])]++
+			seen = true
+		}
+	}
+	if !seen {
+		return win[len(win)-1]
+	}
+	best := 0
+	for l, c := range counts {
+		if c > counts[best] {
+			best = l
+		}
+	}
+	return (float64(best) + 0.5) / float64(levels)
+}
+
+// Standard returns the predictor suite the evaluation harness
+// considers when selecting a best-fit method.
+func Standard() []Predictor {
+	return []Predictor{
+		LastValue{},
+		MovingAverage{Window: 3},
+		MovingAverage{Window: 6},
+		MovingAverage{Window: 12},
+		ExpSmoothing{Alpha: 0.1},
+		ExpSmoothing{Alpha: 0.3},
+		ExpSmoothing{Alpha: 0.6},
+		AR1{Window: 48},
+		MarkovLevel{Levels: 5, Window: 288},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// evaluation
+
+// Evaluation summarises one predictor's one-step-ahead accuracy.
+type Evaluation struct {
+	MAE  float64 // mean absolute error
+	RMSE float64 // root mean squared error
+	// LevelHitRate is the fraction of steps where the predicted value
+	// falls in the same 5-level usage bin as the actual value — the
+	// accuracy notion matching the paper's level-based analysis.
+	LevelHitRate float64
+	N            int
+}
+
+// Evaluate runs a predictor over the series, forecasting each sample
+// from the prefix before it, skipping the first warmup samples.
+func Evaluate(p Predictor, s *timeseries.Series, warmup int) Evaluation {
+	if warmup < 1 {
+		warmup = 1
+	}
+	var sumAbs, sumSq float64
+	hits, n := 0, 0
+	for i := warmup; i < s.Len(); i++ {
+		pred := p.Predict(s.Values[:i])
+		actual := s.Values[i]
+		d := pred - actual
+		sumAbs += math.Abs(d)
+		sumSq += d * d
+		if usageLevel(pred) == usageLevel(actual) {
+			hits++
+		}
+		n++
+	}
+	if n == 0 {
+		return Evaluation{}
+	}
+	return Evaluation{
+		MAE:          sumAbs / float64(n),
+		RMSE:         math.Sqrt(sumSq / float64(n)),
+		LevelHitRate: float64(hits) / float64(n),
+		N:            n,
+	}
+}
+
+func usageLevel(v float64) int {
+	l := int(v * 5)
+	if l < 0 {
+		l = 0
+	}
+	if l > 4 {
+		l = 4
+	}
+	return l
+}
+
+// EvaluateK measures k-step-ahead accuracy: the predictor forecasts
+// iteratively, feeding its own outputs back as pseudo-history, and the
+// k-th forecast is scored against the actual sample. k = 1 matches
+// Evaluate.
+func EvaluateK(p Predictor, s *timeseries.Series, warmup, k int) Evaluation {
+	if warmup < 1 {
+		warmup = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	var sumAbs, sumSq float64
+	hits, n := 0, 0
+	buf := make([]float64, 0, s.Len()+k)
+	for i := warmup; i+k-1 < s.Len(); i++ {
+		buf = append(buf[:0], s.Values[:i]...)
+		var pred float64
+		for step := 0; step < k; step++ {
+			pred = p.Predict(buf)
+			buf = append(buf, pred)
+		}
+		actual := s.Values[i+k-1]
+		d := pred - actual
+		sumAbs += math.Abs(d)
+		sumSq += d * d
+		if usageLevel(pred) == usageLevel(actual) {
+			hits++
+		}
+		n++
+	}
+	if n == 0 {
+		return Evaluation{}
+	}
+	return Evaluation{
+		MAE:          sumAbs / float64(n),
+		RMSE:         math.Sqrt(sumSq / float64(n)),
+		LevelHitRate: float64(hits) / float64(n),
+		N:            n,
+	}
+}
+
+// EvaluateAll averages a predictor's evaluation over a host
+// population.
+func EvaluateAll(p Predictor, series []*timeseries.Series, warmup int) Evaluation {
+	var agg Evaluation
+	var maeSum, rmseSum, hitSum float64
+	pops := 0
+	for _, s := range series {
+		e := Evaluate(p, s, warmup)
+		if e.N == 0 {
+			continue
+		}
+		maeSum += e.MAE
+		rmseSum += e.RMSE
+		hitSum += e.LevelHitRate
+		agg.N += e.N
+		pops++
+	}
+	if pops == 0 {
+		return Evaluation{}
+	}
+	agg.MAE = maeSum / float64(pops)
+	agg.RMSE = rmseSum / float64(pops)
+	agg.LevelHitRate = hitSum / float64(pops)
+	return agg
+}
+
+// Best evaluates every candidate over the population and returns the
+// one with the lowest MAE — the paper's "best-fit load prediction
+// method" selection.
+func Best(candidates []Predictor, series []*timeseries.Series, warmup int) (Predictor, Evaluation) {
+	var bestP Predictor
+	var bestE Evaluation
+	for _, p := range candidates {
+		e := EvaluateAll(p, series, warmup)
+		if e.N == 0 {
+			continue
+		}
+		if bestP == nil || e.MAE < bestE.MAE {
+			bestP, bestE = p, e
+		}
+	}
+	return bestP, bestE
+}

@@ -1,0 +1,220 @@
+// Package report renders the reproduction's tables and figure data:
+// ASCII tables for the terminal, gnuplot-style .dat series files and
+// CSV exports. Every table and figure of the paper is regenerated
+// through these types.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	ID      string // e.g. "table1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned ASCII art.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	sep := func() {
+		for i := range t.Columns {
+			b.WriteString("+")
+			b.WriteString(strings.Repeat("-", widths[i]+2))
+		}
+		b.WriteString("+\n")
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	sep()
+	writeRow(t.Columns)
+	sep()
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	sep()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown writes the table as a GitHub-flavoured Markdown table,
+// with pipes in cells escaped.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", esc(c))
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, " %s |", esc(cell))
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table as CSV (header + rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one plottable data set: a shared X column and one or more
+// named Y columns (a figure panel).
+type Series struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	XLabel string
+	X      []float64
+	Y      map[string][]float64
+	// YOrder fixes the column order; unlisted keys follow sorted.
+	YOrder []string
+}
+
+// NewSeries allocates a series.
+func NewSeries(id, title, xlabel string) *Series {
+	return &Series{ID: id, Title: title, XLabel: xlabel, Y: make(map[string][]float64)}
+}
+
+// Add registers a Y column, keeping declaration order.
+func (s *Series) Add(name string, ys []float64) {
+	if _, ok := s.Y[name]; !ok {
+		s.YOrder = append(s.YOrder, name)
+	}
+	s.Y[name] = ys
+}
+
+// columns returns the Y column names in declaration order.
+func (s *Series) columns() []string {
+	return s.YOrder
+}
+
+// WriteDAT writes the series in gnuplot-friendly format: a comment
+// header followed by whitespace-separated columns. Missing values
+// (shorter Y columns) render as "nan".
+func (s *Series) WriteDAT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Title)
+	fmt.Fprintf(&b, "# %s", s.XLabel)
+	cols := s.columns()
+	for _, c := range cols {
+		fmt.Fprintf(&b, "\t%s", c)
+	}
+	b.WriteString("\n")
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, c := range cols {
+			ys := s.Y[c]
+			if i < len(ys) {
+				fmt.Fprintf(&b, "\t%g", ys[i])
+			} else {
+				b.WriteString("\tnan")
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SaveDAT writes the series to dir/<ID>.dat, creating dir if needed.
+func (s *Series) SaveDAT(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("report: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, s.ID+".dat")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("report: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := s.WriteDAT(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// SaveCSV writes the table to dir/<ID>.csv, creating dir if needed.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("report: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("report: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// I formats an integer-valued float.
+func I(v float64) string { return fmt.Sprintf("%.0f", v) }

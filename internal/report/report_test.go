@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "t1",
+		Title:   "Jobs per hour",
+		Columns: []string{"system", "max", "avg"},
+	}
+	t.AddRow("Google", "1421", "552")
+	t.AddRow("AuverGrid", "818", "45")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Jobs per hour") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "| Google") || !strings.Contains(out, "| 1421") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	// All data lines share the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var width int
+	for _, l := range lines[1:] { // skip title
+		if width == 0 {
+			width = len(l)
+		} else if len(l) != width {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableRenderShortRow(t *testing.T) {
+	tb := sampleTable()
+	tb.AddRow("OnlyOneCell")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OnlyOneCell") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := sampleTable()
+	tb.AddRow("a|b", "1")
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| system | max | avg |") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, `a\|b`) {
+		t.Fatalf("pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "**Jobs per hour**") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "system,max,avg\nGoogle,1421,552\nAuverGrid,818,45\n"
+	if buf.String() != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestSeriesDAT(t *testing.T) {
+	s := NewSeries("fig3", "Job length CDF", "seconds")
+	s.X = []float64{0, 1000, 2000}
+	s.Add("Google", []float64{0, 0.8, 0.9})
+	s.Add("AuverGrid", []float64{0, 0.1}) // short on purpose
+	var buf bytes.Buffer
+	if err := s.WriteDAT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# Job length CDF\n# seconds\tGoogle\tAuverGrid\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1000\t0.8\t0.1") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2000\t0.9\tnan") {
+		t.Fatalf("nan padding missing:\n%s", out)
+	}
+}
+
+func TestSeriesColumnOrderStable(t *testing.T) {
+	s := NewSeries("x", "t", "x")
+	s.Add("b", nil)
+	s.Add("a", nil)
+	s.Add("b", []float64{1}) // re-add must not duplicate
+	cols := s.columns()
+	if len(cols) != 2 || cols[0] != "b" || cols[1] != "a" {
+		t.Fatalf("column order %v", cols)
+	}
+}
+
+func TestSaveFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	s := NewSeries("fig9", "t", "x")
+	s.X = []float64{1}
+	s.Add("y", []float64{2})
+	p, err := s.SaveDAT(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	tb := sampleTable()
+	p2, err := tb.SaveCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "system,max,avg") {
+		t.Fatal("csv content wrong")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.123456) != "0.1235" {
+		t.Errorf("F: %s", F(0.123456))
+	}
+	if F2(1.005) == "" || I(42.4) != "42" {
+		t.Error("formatters broken")
+	}
+}

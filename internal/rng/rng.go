@@ -1,0 +1,112 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for the workload generators and the cluster simulator.
+//
+// Every experiment in this repository is a pure function of a single
+// 64-bit seed. Independent subsystems (arrival process, task lengths,
+// machine failures, ...) each derive their own child stream from a
+// parent stream and a label, so adding a new consumer never perturbs
+// the draws seen by existing consumers.
+package rng
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// Stream is a deterministic random-number stream. The zero value is not
+// usable; construct streams with New or Stream.Child.
+type Stream struct {
+	rand *rand.Rand
+	seed uint64
+}
+
+// New returns a stream seeded from a single 64-bit seed.
+func New(seed uint64) *Stream {
+	return &Stream{
+		rand: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed: seed,
+	}
+}
+
+// Child derives an independent stream from this stream's seed and a
+// label. Child streams are stable: they depend only on (seed, label),
+// not on how much of the parent stream has been consumed.
+func (s *Stream) Child(label string) *Stream {
+	h := fnv.New64a()
+	// The hash input mixes the parent seed so distinct parents with the
+	// same label produce unrelated children.
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(s.seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	return New(h.Sum64())
+}
+
+// Seed reports the seed this stream was created with.
+func (s *Stream) Seed() uint64 { return s.seed }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 { return s.rand.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Stream) Uint64() uint64 { return s.rand.Uint64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Stream) IntN(n int) int { return s.rand.IntN(n) }
+
+// Int64N returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Stream) Int64N(n int64) int64 { return s.rand.Int64N(n) }
+
+// NormFloat64 returns a standard normal deviate.
+func (s *Stream) NormFloat64() float64 { return s.rand.NormFloat64() }
+
+// ExpFloat64 returns an exponential deviate with rate 1.
+func (s *Stream) ExpFloat64() float64 { return s.rand.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.rand.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.rand.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool { return s.rand.Float64() < p }
+
+// Range returns a uniform value in [lo, hi).
+func (s *Stream) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rand.Float64()
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. Negative weights are treated as zero.
+// It panics if the total weight is not positive.
+func (s *Stream) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: Pick requires a positive total weight")
+	}
+	u := s.rand.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	// Floating-point round-off: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical draws", same)
+	}
+}
+
+func TestChildStability(t *testing.T) {
+	parent := New(7)
+	// Consuming the parent must not change what a child produces.
+	c1 := parent.Child("arrivals")
+	first := c1.Uint64()
+	parent2 := New(7)
+	for i := 0; i < 50; i++ {
+		parent2.Uint64()
+	}
+	c2 := parent2.Child("arrivals")
+	if got := c2.Uint64(); got != first {
+		t.Fatalf("child stream depends on parent consumption: %d != %d", got, first)
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Child("a")
+	b := parent.Child("b")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("children with different labels look identical")
+	}
+}
+
+func TestChildOfDifferentParentsDiffer(t *testing.T) {
+	a := New(1).Child("x")
+	b := New(2).Child("x")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("same-label children of different parents look identical")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v, want ~0.3", p)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	s := New(13)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[s.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestPickNegativeTreatedAsZero(t *testing.T) {
+	s := New(17)
+	weights := []float64{-5, 2}
+	for i := 0; i < 100; i++ {
+		if got := s.Pick(weights); got != 1 {
+			t.Fatalf("negative weight index picked: %d", got)
+		}
+	}
+}
+
+func TestPickPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero total weight did not panic")
+		}
+	}()
+	New(19).Pick([]float64{0, 0})
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(23)
+	if err := quick.Check(func(raw uint8) bool {
+		n := int(raw%100) + 1
+		v := s.IntN(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(31)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(37)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}

@@ -1,0 +1,483 @@
+// Package stats implements the statistical machinery of the paper:
+// empirical CDFs, histograms/PDFs, mass-count disparity (count CDF,
+// mass CDF, joint ratio and mm-distance), Jain's fairness index,
+// moments, quantiles, the Gini coefficient, autocorrelation and
+// correlation.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ---------------------------------------------------------------------------
+// moments and simple summaries
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if len < 1.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (R type-7). It returns NaN
+// for an empty slice. xs need not be sorted.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	h := p * float64(len(sorted)-1)
+	i := int(math.Floor(h))
+	frac := h - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// ---------------------------------------------------------------------------
+// ECDF
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample. Construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the sample.
+func NewECDF(xs []float64) *ECDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Eval returns P(X <= x).
+func (e *ECDF) Eval(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Number of sample points <= x.
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile of the sample.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(e.sorted, p)
+}
+
+// Points returns up to n (x, F(x)) pairs spanning the sample range,
+// suitable for plotting the CDF curve.
+func (e *ECDF) Points(n int) (xs, ys []float64) {
+	if len(e.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		x := e.sorted[len(e.sorted)-1]
+		return []float64{x}, []float64{1}
+	}
+	lo, hi := e.sorted[0], e.sorted[len(e.sorted)-1]
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ys[i] = e.Eval(x)
+	}
+	return xs, ys
+}
+
+// ---------------------------------------------------------------------------
+// Histogram / PDF
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram bins xs into nbins equal-width bins over [lo, hi].
+// Values outside the range are clamped into the first/last bin.
+func NewHistogram(xs []float64, nbins int, lo, hi float64) *Histogram {
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := h.binIndex(x)
+	h.Counts[i]++
+	h.total++
+}
+
+func (h *Histogram) binIndex(x float64) int {
+	n := len(h.Counts)
+	if h.Hi <= h.Lo {
+		return 0
+	}
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// PDF returns the probability mass per bin (sums to 1 for non-empty
+// histograms).
+func (h *Histogram) PDF() []float64 {
+	pdf := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return pdf
+	}
+	for i, c := range h.Counts {
+		pdf[i] = float64(c) / float64(h.total)
+	}
+	return pdf
+}
+
+// BinCenters returns the midpoint of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	n := len(h.Counts)
+	cs := make([]float64, n)
+	w := (h.Hi - h.Lo) / float64(n)
+	for i := range cs {
+		cs[i] = h.Lo + w*(float64(i)+0.5)
+	}
+	return cs
+}
+
+// ---------------------------------------------------------------------------
+// Mass-count disparity
+
+// MassCount captures the mass-count disparity of a sample of
+// non-negative sizes (Feitelson). The count CDF Fc(x) is the fraction
+// of items of size <= x; the mass CDF Fm(x) is the fraction of the
+// total mass contributed by items of size <= x.
+type MassCount struct {
+	sorted  []float64 // ascending item sizes
+	cumMass []float64 // cumulative mass, cumMass[i] = sum(sorted[:i+1])
+	total   float64
+}
+
+// NewMassCount builds the disparity structure. Negative values are
+// rejected by returning nil; callers should validate inputs.
+func NewMassCount(xs []float64) *MassCount {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return nil
+	}
+	cum := make([]float64, len(sorted))
+	var tot float64
+	for i, v := range sorted {
+		tot += v
+		cum[i] = tot
+	}
+	if tot == 0 {
+		return nil
+	}
+	return &MassCount{sorted: sorted, cumMass: cum, total: tot}
+}
+
+// Len returns the number of items.
+func (mc *MassCount) Len() int { return len(mc.sorted) }
+
+// CountCDF returns Fc(x), the fraction of items with size <= x.
+func (mc *MassCount) CountCDF(x float64) float64 {
+	n := sort.SearchFloat64s(mc.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(mc.sorted))
+}
+
+// MassCDF returns Fm(x), the fraction of total mass in items <= x.
+func (mc *MassCount) MassCDF(x float64) float64 {
+	n := sort.SearchFloat64s(mc.sorted, math.Nextafter(x, math.Inf(1)))
+	if n == 0 {
+		return 0
+	}
+	return mc.cumMass[n-1] / mc.total
+}
+
+// CountMedian returns the median item size (Fc^-1(0.5)).
+func (mc *MassCount) CountMedian() float64 {
+	return quantileSorted(mc.sorted, 0.5)
+}
+
+// MassMedian returns the size x where half of the total mass lies in
+// items <= x (Fm^-1(0.5)).
+func (mc *MassCount) MassMedian() float64 {
+	half := mc.total / 2
+	i := sort.SearchFloat64s(mc.cumMass, half)
+	if i >= len(mc.sorted) {
+		i = len(mc.sorted) - 1
+	}
+	return mc.sorted[i]
+}
+
+// MMDistance returns the horizontal distance between the medians of
+// the count and mass CDFs, in the units of the item sizes. A large
+// value indicates a strong disparity (heavy tail).
+func (mc *MassCount) MMDistance() float64 {
+	return mc.MassMedian() - mc.CountMedian()
+}
+
+// JointRatio returns (itemsPct, massPct) at the crossing point where
+// Fc(x) + Fm(x) = 1: itemsPct% of the (largest) items account for
+// massPct% of the mass, and vice versa. itemsPct + massPct = 100.
+// For the Google task lengths the paper reports 6/94; for AuverGrid
+// 24/76.
+func (mc *MassCount) JointRatio() (itemsPct, massPct float64) {
+	// Walk the sorted items; at each item the pair (Fc, Fm) increases
+	// monotonically. Find the first index where Fc + Fm >= 1 and
+	// linearly interpolate between the previous and current point so
+	// the crossing is exact.
+	n := len(mc.sorted)
+	prevFc, prevFm := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		fc := float64(i+1) / float64(n)
+		fm := mc.cumMass[i] / mc.total
+		if fc+fm >= 1 {
+			dfc, dfm := fc-prevFc, fm-prevFm
+			t := 1.0
+			if dfc+dfm > 0 {
+				t = (1 - prevFc - prevFm) / (dfc + dfm)
+			}
+			cross := prevFc + t*dfc
+			// itemsPct is the share of items above the crossing point,
+			// which equals the mass share below it.
+			return round1(100 * (1 - cross)), round1(100 * cross)
+		}
+		prevFc, prevFm = fc, fm
+	}
+	return 0, 100
+}
+
+func round1(x float64) float64 { return math.Round(x*10) / 10 }
+
+// Curve returns n points of both CDFs for plotting: xs, count CDF and
+// mass CDF values.
+func (mc *MassCount) Curve(n int) (xs, count, mass []float64) {
+	if n <= 0 || len(mc.sorted) == 0 {
+		return nil, nil, nil
+	}
+	lo, hi := mc.sorted[0], mc.sorted[len(mc.sorted)-1]
+	xs = make([]float64, n)
+	count = make([]float64, n)
+	mass = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		xs[i] = x
+		count[i] = mc.CountCDF(x)
+		mass[i] = mc.MassCDF(x)
+	}
+	return xs, count, mass
+}
+
+// ---------------------------------------------------------------------------
+// fairness, autocorrelation, correlation, Gini
+
+// JainFairness returns Jain's fairness index of xs:
+// (Σx)² / (n·Σx²). The index is 1 when all values are equal and
+// approaches 1/n as one value dominates. Returns NaN for empty input
+// and 1 for an all-zero sample (perfectly equal).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s, s2 float64
+	for _, x := range xs {
+		s += x
+		s2 += x * x
+	}
+	if s2 == 0 {
+		return 1
+	}
+	return s * s / (float64(len(xs)) * s2)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs.
+// Returns NaN if the series is shorter than k+2 or has zero variance.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || n < lag+2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// Correlation returns the Pearson correlation of xs and ys.
+// Returns NaN if the lengths differ or either side has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic: the maximum
+// vertical distance between the empirical CDFs of xs and ys. It is the
+// distance measure used to compare a synthetic distribution against a
+// calibration target. Returns NaN if either sample is empty.
+func KolmogorovSmirnov(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Evaluate both CDFs just after the next distinct merged value,
+		// consuming ties on both sides together.
+		v := a[i]
+		if b[j] < v {
+			v = b[j]
+		}
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Gini returns the Gini coefficient of the non-negative sample xs:
+// 0 for perfect equality, approaching 1 as one item dominates.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}

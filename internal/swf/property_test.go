@@ -1,0 +1,88 @@
+package swf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomRecord builds an arbitrary-but-representable record: the text
+// formats carry fixed-point fields, so floats are quantised to two
+// decimals, matching what the writer emits.
+func randomRecord(s *rng.Stream) Record {
+	q2 := func(v float64) float64 { return float64(int64(v*100)) / 100 }
+	return Record{
+		JobID:          s.Int64N(1 << 40),
+		SubmitTime:     s.Int64N(1 << 30),
+		WaitTime:       s.Int64N(100000),
+		RunTime:        1 + s.Int64N(1<<20),
+		NProcs:         1 + s.IntN(4096),
+		AvgCPUTime:     q2(s.Float64() * 1e5),
+		UsedMemory:     q2(s.Float64() * 1e7),
+		ReqNProcs:      1 + s.IntN(4096),
+		ReqTime:        s.Int64N(1 << 20),
+		ReqMemory:      q2(s.Float64() * 1e7),
+		Status:         s.IntN(6),
+		UserID:         s.IntN(1000),
+		GroupID:        s.IntN(100),
+		ExecutableID:   s.IntN(5000),
+		QueueID:        s.IntN(10),
+		PartitionID:    s.IntN(10),
+		PrecedingJobID: -1,
+		ThinkTime:      -1,
+	}
+}
+
+// TestRandomRecordRoundTrip: any representable record survives a
+// write/read cycle in both formats.
+func TestRandomRecordRoundTrip(t *testing.T) {
+	for _, format := range []Format{SWF, GWA} {
+		f := func(seed uint64) bool {
+			s := rng.New(seed)
+			recs := make([]Record, 1+s.IntN(20))
+			for i := range recs {
+				recs[i] = randomRecord(s)
+			}
+			var buf bytes.Buffer
+			w := NewWriter(&buf, format)
+			for _, r := range recs {
+				if err := w.Write(r); err != nil {
+					return false
+				}
+			}
+			if err := w.Flush(); err != nil {
+				return false
+			}
+			back, err := Read(&buf, format)
+			if err != nil || len(back) != len(recs) {
+				return false
+			}
+			for i := range recs {
+				if back[i] != recs[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("format %v: %v", format, err)
+		}
+	}
+}
+
+// TestJobConversionPreservesLength: converting to a record and back
+// never changes the job's length or width.
+func TestJobConversionPreservesLength(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		r := randomRecord(s)
+		j := r.ToJob()
+		back := FromJob(j).ToJob()
+		return back.Length() == j.Length() && back.NumCPUs == j.NumCPUs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package swf reads and writes the Parallel Workload Archive's
+// Standard Workload Format (SWF) and the Grid Workload Archive's
+// GWA-T text format. These are the formats of the Grid/HPC traces the
+// paper compares against (AuverGrid, NorduGrid, SHARCNET, ANL, RICC,
+// MetaCentrum, LLNL-Atlas, DAS-2).
+//
+// SWF records have 18 whitespace-separated fields; GWA-T records share
+// the first 11 fields and extend to 29. Lines starting with ';'
+// (SWF header comments) or '#' (GWA comments) are skipped. Unknown or
+// unavailable values are written as -1, as both archives do.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Format selects the record layout.
+type Format int
+
+// Supported formats.
+const (
+	SWF Format = iota // 18 fields, ';' comments
+	GWA               // 29 fields, '#' comments
+)
+
+// fieldCount returns the number of fields per record.
+func (f Format) fieldCount() int {
+	if f == GWA {
+		return 29
+	}
+	return 18
+}
+
+func (f Format) comment() byte {
+	if f == GWA {
+		return '#'
+	}
+	return ';'
+}
+
+// Record is one SWF/GWA job record. Times are in seconds; -1 marks an
+// unknown value, following the archive conventions.
+type Record struct {
+	JobID          int64
+	SubmitTime     int64
+	WaitTime       int64
+	RunTime        int64
+	NProcs         int     // allocated processors
+	AvgCPUTime     float64 // average CPU time per processor, seconds
+	UsedMemory     float64 // KB per processor
+	ReqNProcs      int
+	ReqTime        int64
+	ReqMemory      float64
+	Status         int // 1 = completed, 0 = failed, 5 = cancelled
+	UserID         int
+	GroupID        int
+	ExecutableID   int
+	QueueID        int
+	PartitionID    int
+	PrecedingJobID int64
+	ThinkTime      int64
+}
+
+// ToJob converts the record to the analysis-level Job model.
+// The job length is wait + run (submission to completion), matching
+// the paper's definition. CPUTime is avg-CPU-per-proc times procs.
+func (r Record) ToJob() trace.Job {
+	procs := r.NProcs
+	if procs <= 0 {
+		procs = 1
+	}
+	cpuTime := r.AvgCPUTime * float64(procs)
+	if r.AvgCPUTime < 0 {
+		// Archives often omit CPU time; assume fully busy processors.
+		cpuTime = float64(r.RunTime) * float64(procs)
+	}
+	wait := r.WaitTime
+	if wait < 0 {
+		wait = 0
+	}
+	run := r.RunTime
+	if run < 0 {
+		run = 0
+	}
+	mem := r.UsedMemory
+	if mem < 0 {
+		mem = 0
+	}
+	return trace.Job{
+		ID:        r.JobID,
+		Submit:    r.SubmitTime,
+		End:       r.SubmitTime + wait + run,
+		TaskCount: 1,
+		NumCPUs:   float64(procs),
+		CPUTime:   cpuTime,
+		MemAvg:    mem,
+	}
+}
+
+// FromJob converts an analysis-level Job to a record. Wait time is
+// folded into run time because Job does not track queueing separately.
+func FromJob(j trace.Job) Record {
+	procs := int(j.NumCPUs)
+	if procs <= 0 {
+		procs = 1
+	}
+	avgCPU := -1.0
+	if j.CPUTime > 0 {
+		avgCPU = j.CPUTime / float64(procs)
+	}
+	return Record{
+		JobID:          j.ID,
+		SubmitTime:     j.Submit,
+		WaitTime:       0,
+		RunTime:        j.Length(),
+		NProcs:         procs,
+		AvgCPUTime:     avgCPU,
+		UsedMemory:     j.MemAvg,
+		ReqNProcs:      procs,
+		ReqTime:        -1,
+		ReqMemory:      -1,
+		Status:         1,
+		UserID:         -1,
+		GroupID:        -1,
+		ExecutableID:   -1,
+		QueueID:        -1,
+		PartitionID:    -1,
+		PrecedingJobID: -1,
+		ThinkTime:      -1,
+	}
+}
+
+func (r Record) fields(f Format) []string {
+	base := []string{
+		strconv.FormatInt(r.JobID, 10),
+		strconv.FormatInt(r.SubmitTime, 10),
+		strconv.FormatInt(r.WaitTime, 10),
+		strconv.FormatInt(r.RunTime, 10),
+		strconv.Itoa(r.NProcs),
+		strconv.FormatFloat(r.AvgCPUTime, 'f', 2, 64),
+		strconv.FormatFloat(r.UsedMemory, 'f', 2, 64),
+		strconv.Itoa(r.ReqNProcs),
+		strconv.FormatInt(r.ReqTime, 10),
+		strconv.FormatFloat(r.ReqMemory, 'f', 2, 64),
+		strconv.Itoa(r.Status),
+		strconv.Itoa(r.UserID),
+		strconv.Itoa(r.GroupID),
+		strconv.Itoa(r.ExecutableID),
+		strconv.Itoa(r.QueueID),
+		strconv.Itoa(r.PartitionID),
+		strconv.FormatInt(r.PrecedingJobID, 10),
+		strconv.FormatInt(r.ThinkTime, 10),
+	}
+	if f == GWA {
+		for len(base) < f.fieldCount() {
+			base = append(base, "-1")
+		}
+	}
+	return base
+}
+
+// Writer emits SWF/GWA records.
+type Writer struct {
+	w      *bufio.Writer
+	format Format
+}
+
+// NewWriter wraps w. Call Flush when done.
+func NewWriter(w io.Writer, format Format) *Writer {
+	return &Writer{w: bufio.NewWriter(w), format: format}
+}
+
+// Header writes archive-style header comments (key: value lines).
+func (w *Writer) Header(lines ...string) error {
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w.w, "%c %s\n", w.format.comment(), l); err != nil {
+			return fmt.Errorf("swf: write header: %w", err)
+		}
+	}
+	return nil
+}
+
+// Write emits one record.
+func (w *Writer) Write(r Record) error {
+	if _, err := fmt.Fprintln(w.w, strings.Join(r.fields(w.format), " ")); err != nil {
+		return fmt.Errorf("swf: write record: %w", err)
+	}
+	return nil
+}
+
+// WriteJobs converts and writes all jobs.
+func (w *Writer) WriteJobs(jobs []trace.Job) error {
+	for _, j := range jobs {
+		if err := w.Write(FromJob(j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Read parses all records from r in the given format. Comment and
+// blank lines are skipped. Records with too few fields are an error;
+// extra fields beyond the format's count are ignored (some archive
+// files carry trailing annotations).
+func Read(r io.Reader, format Format) ([]Record, error) {
+	recs, _, err := ReadWithHeader(r, format)
+	return recs, err
+}
+
+// ReadWithHeader parses records plus the archive's header metadata:
+// comment lines of the form "; Key: value" (or "# Key: value"), as the
+// PWA and GWA headers use ("; Computer: ...", "; MaxNodes: ...").
+// Comment lines without a colon are ignored.
+func ReadWithHeader(r io.Reader, format Format) ([]Record, map[string]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Record
+	header := make(map[string]string)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == ';' || line[0] == '#' {
+			if key, value, ok := parseHeaderLine(line); ok {
+				header[key] = value
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 11 {
+			return nil, nil, fmt.Errorf("swf: line %d: %d fields, want at least 11", lineNo, len(fields))
+		}
+		rec, err := parseRecord(fields)
+		if err != nil {
+			return nil, nil, fmt.Errorf("swf: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("swf: scan: %w", err)
+	}
+	return out, header, nil
+}
+
+func parseHeaderLine(line string) (key, value string, ok bool) {
+	body := strings.TrimSpace(strings.TrimLeft(line, ";# "))
+	i := strings.Index(body, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(body[:i])
+	value = strings.TrimSpace(body[i+1:])
+	if key == "" {
+		return "", "", false
+	}
+	return key, value, true
+}
+
+func parseRecord(f []string) (Record, error) {
+	var r Record
+	var err error
+	geti64 := func(i int, what string) int64 {
+		if err != nil {
+			return -1
+		}
+		var v int64
+		if v, err = strconv.ParseInt(f[i], 10, 64); err != nil {
+			err = fmt.Errorf("%s %q: %w", what, f[i], err)
+		}
+		return v
+	}
+	getint := func(i int, what string) int {
+		return int(geti64(i, what))
+	}
+	getf := func(i int, what string) float64 {
+		if err != nil {
+			return -1
+		}
+		var v float64
+		if v, err = strconv.ParseFloat(f[i], 64); err != nil {
+			err = fmt.Errorf("%s %q: %w", what, f[i], err)
+		}
+		return v
+	}
+	r.JobID = geti64(0, "job id")
+	r.SubmitTime = geti64(1, "submit time")
+	r.WaitTime = geti64(2, "wait time")
+	r.RunTime = geti64(3, "run time")
+	r.NProcs = getint(4, "nprocs")
+	r.AvgCPUTime = getf(5, "avg cpu time")
+	r.UsedMemory = getf(6, "used memory")
+	r.ReqNProcs = getint(7, "req nprocs")
+	r.ReqTime = geti64(8, "req time")
+	r.ReqMemory = getf(9, "req memory")
+	r.Status = getint(10, "status")
+	if len(f) >= 18 {
+		r.UserID = getint(11, "user id")
+		r.GroupID = getint(12, "group id")
+		r.ExecutableID = getint(13, "executable id")
+		r.QueueID = getint(14, "queue id")
+		r.PartitionID = getint(15, "partition id")
+		r.PrecedingJobID = geti64(16, "preceding job")
+		r.ThinkTime = geti64(17, "think time")
+	}
+	return r, err
+}
+
+// ReadJobs parses records and converts them to Jobs, dropping records
+// with non-positive run time (the archives mark cancelled jobs that
+// never ran this way) unless keepAll is set.
+func ReadJobs(r io.Reader, format Format, keepAll bool) ([]trace.Job, error) {
+	recs, err := Read(r, format)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]trace.Job, 0, len(recs))
+	for _, rec := range recs {
+		if !keepAll && rec.RunTime <= 0 {
+			continue
+		}
+		jobs = append(jobs, rec.ToJob())
+	}
+	return jobs, nil
+}

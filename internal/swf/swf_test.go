@@ -1,0 +1,253 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleRecord() Record {
+	return Record{
+		JobID: 1, SubmitTime: 100, WaitTime: 20, RunTime: 3600,
+		NProcs: 8, AvgCPUTime: 3400.5, UsedMemory: 2048,
+		ReqNProcs: 8, ReqTime: 7200, ReqMemory: 4096, Status: 1,
+		UserID: 3, GroupID: 1, ExecutableID: 7, QueueID: 0,
+		PartitionID: -1, PrecedingJobID: -1, ThinkTime: -1,
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, SWF)
+	if err := w.Header("Computer: TestCluster", "MaxJobs: 2"); err != nil {
+		t.Fatal(err)
+	}
+	r1 := sampleRecord()
+	r2 := sampleRecord()
+	r2.JobID = 2
+	r2.SubmitTime = 500
+	if err := w.Write(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, SWF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if got[0] != r1 || got[1] != r2 {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got[0], r1)
+	}
+}
+
+func TestGWARoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, GWA)
+	if err := w.Header("gwa-format: GWA-T"); err != nil {
+		t.Fatal(err)
+	}
+	r := sampleRecord()
+	if err := w.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// GWA rows must carry 29 fields.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	data := lines[len(lines)-1]
+	if n := len(strings.Fields(data)); n != 29 {
+		t.Fatalf("GWA row has %d fields, want 29", n)
+	}
+	got, err := Read(strings.NewReader(buf.String()), GWA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != r {
+		t.Fatalf("GWA round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := `; SWF header
+; another comment
+
+# hash comment too
+1 0 0 60 1 -1.00 -1.00 1 -1 -1.00 1 -1 -1 -1 -1 -1 -1 -1
+`
+	recs, err := Read(strings.NewReader(in), SWF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 2 3\n"), SWF); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := Read(strings.NewReader("x 0 0 60 1 -1 -1 1 -1 -1 1\n"), SWF); err == nil {
+		t.Error("bad job id accepted")
+	}
+	if _, err := Read(strings.NewReader("1 0 0 60 1 bad -1 1 -1 -1 1\n"), SWF); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestReadTolerates11FieldRecords(t *testing.T) {
+	// Minimal GWA-ish record with only the first 11 fields.
+	recs, err := Read(strings.NewReader("5 10 1 30 4 25.0 512 4 60 1024 1\n"), SWF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].JobID != 5 || recs[0].NProcs != 4 {
+		t.Fatalf("recs %+v", recs)
+	}
+}
+
+func TestToJob(t *testing.T) {
+	r := sampleRecord()
+	j := r.ToJob()
+	if j.ID != 1 || j.Submit != 100 {
+		t.Fatalf("job %+v", j)
+	}
+	// Length = wait + run.
+	if j.Length() != 3620 {
+		t.Fatalf("length %d", j.Length())
+	}
+	if j.NumCPUs != 8 {
+		t.Fatalf("procs %v", j.NumCPUs)
+	}
+	if j.CPUTime != 3400.5*8 {
+		t.Fatalf("cpu time %v", j.CPUTime)
+	}
+	if j.MemAvg != 2048 {
+		t.Fatalf("mem %v", j.MemAvg)
+	}
+}
+
+func TestToJobMissingValues(t *testing.T) {
+	r := Record{JobID: 9, SubmitTime: 50, WaitTime: -1, RunTime: 100, NProcs: -1, AvgCPUTime: -1, UsedMemory: -1}
+	j := r.ToJob()
+	if j.NumCPUs != 1 {
+		t.Fatalf("default procs %v", j.NumCPUs)
+	}
+	if j.CPUTime != 100 { // full-busy assumption: runtime * 1 proc
+		t.Fatalf("assumed cpu time %v", j.CPUTime)
+	}
+	if j.Length() != 100 || j.MemAvg != 0 {
+		t.Fatalf("job %+v", j)
+	}
+}
+
+func TestFromJobRoundTrip(t *testing.T) {
+	j := trace.Job{ID: 42, Submit: 10, End: 250, NumCPUs: 4, CPUTime: 800, MemAvg: 100}
+	r := FromJob(j)
+	back := r.ToJob()
+	if back.ID != j.ID || back.Submit != j.Submit || back.Length() != j.Length() {
+		t.Fatalf("job round trip %+v vs %+v", back, j)
+	}
+	if back.NumCPUs != 4 || back.CPUTime != 800 || back.MemAvg != 100 {
+		t.Fatalf("resources lost: %+v", back)
+	}
+}
+
+func TestFromJobZeroProcs(t *testing.T) {
+	r := FromJob(trace.Job{ID: 1, Submit: 0, End: 10})
+	if r.NProcs != 1 {
+		t.Fatalf("nprocs %d, want 1", r.NProcs)
+	}
+	if r.AvgCPUTime != -1 {
+		t.Fatalf("avg cpu %v, want -1 for unknown", r.AvgCPUTime)
+	}
+}
+
+func TestReadWithHeader(t *testing.T) {
+	in := `; Computer: AuverGrid
+; MaxNodes: 475
+; Note without colon separator is skipped... wait, it has one
+; JustWords
+# UnixStartTime: 1143068401
+1 0 0 60 1 -1.00 -1.00 1 -1 -1.00 1 -1 -1 -1 -1 -1 -1 -1
+`
+	recs, hdr, err := ReadWithHeader(strings.NewReader(in), SWF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records %d", len(recs))
+	}
+	if hdr["Computer"] != "AuverGrid" || hdr["MaxNodes"] != "475" {
+		t.Fatalf("header %v", hdr)
+	}
+	if hdr["UnixStartTime"] != "1143068401" {
+		t.Fatalf("hash-style header missing: %v", hdr)
+	}
+	if _, ok := hdr["JustWords"]; ok {
+		t.Fatal("colon-free comment parsed as header")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, SWF)
+	if err := w.Header("Computer: TestRig", "MaxJobs: 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, hdr, err := ReadWithHeader(&buf, SWF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr["Computer"] != "TestRig" || hdr["MaxJobs"] != "1" {
+		t.Fatalf("header %v", hdr)
+	}
+}
+
+func TestWriteJobsReadJobs(t *testing.T) {
+	jobs := []trace.Job{
+		{ID: 1, Submit: 0, End: 100, NumCPUs: 1, CPUTime: 90},
+		{ID: 2, Submit: 50, End: 50, NumCPUs: 2}, // zero-length: dropped by default
+		{ID: 3, Submit: 60, End: 400, NumCPUs: 16, CPUTime: 5000},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, SWF)
+	if err := w.WriteJobs(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	got, err := ReadJobs(strings.NewReader(text), SWF, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d jobs, want 2 (zero-length dropped)", len(got))
+	}
+	all, err := ReadJobs(strings.NewReader(text), SWF, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("keepAll got %d jobs, want 3", len(all))
+	}
+}

@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// GridHostConfig parameterises the per-machine host-load model used
+// for the Fig 13 Google-vs-Grid comparison. Grid worker nodes run one
+// long computation-bound job at a time, so their CPU usage sits high
+// and flat for hours, with minuscule measurement noise; memory sits
+// lower than CPU (the inverse of the Google cluster, Section IV.B.2).
+type GridHostConfig struct {
+	Step int64 // sampling period, seconds (the analyses use 300)
+
+	// Segment lengths: how long the host stays on one job/load level.
+	SegmentMeanSec float64
+
+	// CPU level range while busy, and probability of an idle gap
+	// between jobs.
+	CPULo, CPUHi float64
+	IdleProb     float64
+
+	// Memory level range (grids: below CPU).
+	MemLo, MemHi float64
+
+	// Measurement noise amplitude (std of additive jitter). The paper
+	// measures AuverGrid CPU noise around 0.001 vs Google's 0.028.
+	Noise float64
+
+	// Diurnal modulation of the busy level.
+	DiurnalAmp float64
+}
+
+// DefaultGridHost returns the host-load calibration for the named grid
+// system ("AuverGrid" or "SHARCNET"; anything else gets the AuverGrid
+// profile).
+func DefaultGridHost(system string) GridHostConfig {
+	cfg := GridHostConfig{
+		Step:           300,
+		SegmentMeanSec: 9 * 3600, // jobs run for hours
+		CPULo:          0.75, CPUHi: 1.0,
+		IdleProb: 0.08,
+		MemLo:    0.2, MemHi: 0.55,
+		Noise:      0.0005,
+		DiurnalAmp: 0.05,
+	}
+	if system == "SHARCNET" {
+		cfg.SegmentMeanSec = 5 * 3600
+		cfg.CPULo, cfg.CPUHi = 0.7, 1.0
+		cfg.IdleProb = 0.12
+		cfg.Noise = 0.0008
+	}
+	return cfg
+}
+
+// GridHostSeries synthesises one machine's CPU and memory usage series
+// over [0, horizon).
+func GridHostSeries(cfg GridHostConfig, horizon int64, s *rng.Stream) (cpu, mem *timeseries.Series) {
+	if cfg.Step <= 0 {
+		cfg.Step = 300
+	}
+	n := int(horizon / cfg.Step)
+	cpuVals := make([]float64, n)
+	memVals := make([]float64, n)
+
+	cpuLevel := s.Range(cfg.CPULo, cfg.CPUHi)
+	memLevel := s.Range(cfg.MemLo, cfg.MemHi)
+	idle := false
+	remaining := cfg.segmentSamples(s)
+
+	for i := 0; i < n; i++ {
+		if remaining <= 0 {
+			// Next job (or idle gap) starts.
+			idle = s.Bool(cfg.IdleProb)
+			cpuLevel = s.Range(cfg.CPULo, cfg.CPUHi)
+			memLevel = s.Range(cfg.MemLo, cfg.MemHi)
+			remaining = cfg.segmentSamples(s)
+		}
+		remaining--
+
+		t := float64(i) * float64(cfg.Step)
+		day := 1 + cfg.DiurnalAmp*math.Sin(2*math.Pi*(t/86400-0.3))
+		c, m := cpuLevel*day, memLevel
+		if idle {
+			c, m = 0.02, cfg.MemLo*0.5
+		}
+		c += cfg.Noise * s.NormFloat64()
+		m += cfg.Noise * 0.5 * s.NormFloat64()
+		cpuVals[i] = clamp01(c)
+		memVals[i] = clamp01(m)
+	}
+	cpu = &timeseries.Series{Start: 0, Step: cfg.Step, Values: cpuVals}
+	mem = &timeseries.Series{Start: 0, Step: cfg.Step, Values: memVals}
+	return cpu, mem
+}
+
+func (cfg GridHostConfig) segmentSamples(s *rng.Stream) int {
+	d := s.ExpFloat64() * cfg.SegmentMeanSec
+	k := int(d / float64(cfg.Step))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestGenerateQueuedProducesScheduledJobs(t *testing.T) {
+	horizon := int64(2 * 86400)
+	jobs, util, err := AuverGrid.GenerateQueued(horizon, 256, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	for i, j := range jobs {
+		if j.End <= j.Submit {
+			t.Fatalf("job %d not scheduled: %+v", j.ID, j)
+		}
+		if j.NumCPUs < 1 || j.NumCPUs > 256 {
+			t.Fatalf("job %d width %v", j.ID, j.NumCPUs)
+		}
+		if i > 0 && j.Submit < jobs[i-1].Submit {
+			t.Fatal("jobs not sorted")
+		}
+	}
+	if util == nil || util.Len() == 0 {
+		t.Fatal("no utilisation series")
+	}
+	for _, v := range util.Values {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("utilisation %v out of range", v)
+		}
+	}
+}
+
+func TestGenerateQueuedWaitsUnderContention(t *testing.T) {
+	horizon := int64(2 * 86400)
+	// A tiny cluster forces queueing: job length (End-Submit) must
+	// exceed the pure runtime for a nontrivial share of jobs, and the
+	// smaller cluster must produce longer waits than a big one.
+	small, _, err := AuverGrid.GenerateQueued(horizon, 32, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := AuverGrid.GenerateQueued(horizon, 4096, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanLen := func(jobsLens []float64) float64 { return stats.Mean(jobsLens) }
+	var smallLens, bigLens []float64
+	for _, j := range small {
+		smallLens = append(smallLens, float64(j.Length()))
+	}
+	for _, j := range big {
+		bigLens = append(bigLens, float64(j.Length()))
+	}
+	if meanLen(smallLens) <= meanLen(bigLens) {
+		t.Fatalf("contended cluster mean length %v should exceed uncontended %v",
+			meanLen(smallLens), meanLen(bigLens))
+	}
+}
+
+func TestGenerateQueuedClipsWideJobs(t *testing.T) {
+	// ANL jobs request up to 2048 processors; a 128-node cluster must
+	// clip them rather than fail.
+	jobs, _, err := ANL.GenerateQueued(86400, 128, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.NumCPUs > 128 {
+			t.Fatalf("job width %v exceeds cluster", j.NumCPUs)
+		}
+	}
+}
+
+func TestGenerateQueuedDeterministic(t *testing.T) {
+	a, _, err := SHARCNET.GenerateQueued(86400, 128, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SHARCNET.GenerateQueued(86400, 128, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestGoogleUsersAssigned(t *testing.T) {
+	cfg := DefaultGoogleConfig(6 * 3600)
+	cfg.MaxTasksPerJob = 100
+	tasks := GenerateGoogleTasks(cfg, rng.New(31))
+	jobs := GoogleJobsFromTasks(tasks)
+
+	// Every task carries a user, constant within a job.
+	jobUser := map[int64]int{}
+	for _, task := range tasks {
+		if task.User < 1 || task.User > 400 {
+			t.Fatalf("task user %d out of range", task.User)
+		}
+		if u, ok := jobUser[task.JobID]; ok && u != task.User {
+			t.Fatalf("job %d has multiple users", task.JobID)
+		}
+		jobUser[task.JobID] = task.User
+	}
+
+	// Zipf skew: the 10 heaviest users dominate far beyond 10/400.
+	users, topShare := workload.UserShares(jobs, 10)
+	if users < 50 {
+		t.Fatalf("only %d distinct users", users)
+	}
+	if topShare < 0.30 {
+		t.Fatalf("top-10 user share %v, want Zipf-heavy (>0.30)", topShare)
+	}
+}
+
+func TestGoogleConstraintsAssigned(t *testing.T) {
+	cfg := DefaultGoogleConfig(6 * 3600)
+	cfg.MaxTasksPerJob = 100
+	tasks := GenerateGoogleTasks(cfg, rng.New(32))
+	var constrained, serviceConstrained, total, serviceTotal int
+	for _, task := range tasks {
+		total++
+		isService := task.Duration > 3*3600 // heuristic: long tasks are services
+		if isService {
+			serviceTotal++
+		}
+		switch task.MinCPUClass {
+		case 0:
+		case 0.5, 1.0:
+			constrained++
+			if isService {
+				serviceConstrained++
+			}
+		default:
+			t.Fatalf("unexpected constraint class %v", task.MinCPUClass)
+		}
+	}
+	frac := float64(constrained) / float64(total)
+	if frac < 0.03 || frac > 0.35 {
+		t.Fatalf("constrained fraction %v, want a minority but nonzero", frac)
+	}
+	if serviceTotal > 0 && serviceConstrained == 0 {
+		t.Fatal("no constrained service tasks")
+	}
+}
+
+func TestUserSharesEdgeCases(t *testing.T) {
+	if users, share := workload.UserShares(nil, 5); users != 0 || share != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestStateMachineNeverPanics drives random event sequences through
+// the state machine: it must accept or reject but never misbehave, and
+// an accepted prefix replayed again must be accepted identically.
+func TestStateMachineNeverPanics(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		s := rng.New(seed)
+		var sm StateMachine
+		var accepted []EventType
+		for i := 0; i < int(n); i++ {
+			e := EventType(s.IntN(8))
+			if sm.Apply(e) == nil {
+				accepted = append(accepted, e)
+			}
+		}
+		// Replay the accepted sequence on a fresh machine: every event
+		// must be accepted again (determinism of the transition rules).
+		var replay StateMachine
+		for _, e := range accepted {
+			if replay.Apply(e) != nil {
+				return false
+			}
+		}
+		return replay.State() == sm.State()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateAcceptsGeneratedLifecycles builds random legal task
+// lifecycles and checks Validate accepts the combined trace.
+func TestValidateAcceptsGeneratedLifecycles(t *testing.T) {
+	s := rng.New(77)
+	tr := &Trace{
+		Machines: []Machine{{ID: 0, CPU: 1, Memory: 1, PageCache: 1}},
+	}
+	now := int64(0)
+	for job := int64(1); job <= 200; job++ {
+		attempts := 1 + s.IntN(3)
+		for a := 0; a < attempts; a++ {
+			now += int64(1 + s.IntN(50))
+			tr.Events = append(tr.Events, TaskEvent{
+				Time: now, JobID: job, Type: EventSubmit, Priority: 1 + s.IntN(12),
+			})
+			if s.Bool(0.1) {
+				// Killed while pending.
+				now += int64(1 + s.IntN(10))
+				tr.Events = append(tr.Events, TaskEvent{
+					Time: now, JobID: job, Machine: -1, Type: EventKill,
+				})
+				continue
+			}
+			now += int64(1 + s.IntN(10))
+			tr.Events = append(tr.Events, TaskEvent{
+				Time: now, JobID: job, Machine: 0, Type: EventSchedule,
+			})
+			now += int64(1 + s.IntN(1000))
+			terminal := []EventType{EventFinish, EventFail, EventEvict, EventKill, EventLost}
+			et := terminal[s.IntN(len(terminal))]
+			tr.Events = append(tr.Events, TaskEvent{
+				Time: now, JobID: job, Machine: 0, Type: et,
+			})
+			if et == EventFinish || et == EventKill || et == EventLost {
+				break // no resubmission after these
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated lifecycles rejected: %v", err)
+	}
+	// Job summaries derive cleanly.
+	jobs := JobsFromEvents(tr.Events, nil)
+	if len(jobs) != 200 {
+		t.Fatalf("jobs %d, want 200", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Length() < 0 {
+			t.Fatalf("negative job length %+v", j)
+		}
+	}
+}

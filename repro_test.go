@@ -1,0 +1,134 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateGoogleWorkload(t *testing.T) {
+	tasks, jobs := GenerateGoogleWorkload(3600, 1)
+	if len(tasks) == 0 || len(jobs) == 0 {
+		t.Fatal("empty workload")
+	}
+	if len(tasks) < len(jobs) {
+		t.Fatal("fewer tasks than jobs")
+	}
+	// Deterministic.
+	tasks2, _ := GenerateGoogleWorkload(3600, 1)
+	if len(tasks) != len(tasks2) {
+		t.Fatal("nondeterministic generation")
+	}
+}
+
+func TestGenerateGridWorkload(t *testing.T) {
+	for _, name := range GridSystemNames() {
+		jobs, err := GenerateGridWorkload(name, 86400, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("%s: empty workload", name)
+		}
+	}
+	if _, err := GenerateGridWorkload("Unknown", 86400, 2); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestGridSystemNames(t *testing.T) {
+	names := GridSystemNames()
+	if len(names) != 8 {
+		t.Fatalf("got %d systems, want 8", len(names))
+	}
+	if names[0] != "AuverGrid" || names[7] != "DAS-2" {
+		t.Fatalf("unexpected order: %v", names)
+	}
+}
+
+func TestSimulateGoogleCluster(t *testing.T) {
+	res, err := SimulateGoogleCluster(10, 6*3600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Machines) != 10 {
+		t.Fatalf("got %d machine series", len(res.Machines))
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events")
+	}
+	if res.Stats.Attempts == 0 {
+		t.Fatal("nothing scheduled")
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	r, err := RunExperiment("table1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "table1" || len(r.Tables) == 0 {
+		t.Fatalf("unexpected result %+v", r)
+	}
+	if _, err := RunExperiment("nope", cfg); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	if len(Experiments()) != 15 {
+		t.Fatalf("want 15 experiments, got %d", len(Experiments()))
+	}
+	if len(ExtensionExperiments()) != 4 {
+		t.Fatalf("want 4 extensions, got %d", len(ExtensionExperiments()))
+	}
+}
+
+func TestFacadeCapabilities(t *testing.T) {
+	// Fit: the facade exposes ranked models.
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i%17) + 1
+	}
+	models, err := FitDistribution(sample)
+	if err != nil || len(models) == 0 {
+		t.Fatalf("fit: %v (%d models)", err, len(models))
+	}
+
+	// Prediction: best predictor over a flat series.
+	vs := make([]float64, 100)
+	for i := range vs {
+		vs[i] = 0.4
+	}
+	s := &Series{Start: 0, Step: 300, Values: vs}
+	p, e := BestPredictor([]*Series{s}, 10)
+	if p == nil || e.MAE > 1e-9 {
+		t.Fatalf("best predictor on flat series: %v %v", p, e)
+	}
+
+	// Spectral: a clean daily sine.
+	daily := make([]float64, 2048)
+	for i := range daily {
+		daily[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(i)*300/86400)
+	}
+	peak, err := DominantPeriod(&Series{Start: 0, Step: 300, Values: daily})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.PeriodSeconds < 86400/2 || peak.PeriodSeconds > 86400*2 {
+		t.Fatalf("period %v", peak.PeriodSeconds)
+	}
+
+	// Capacity: plan over a tiny simulation.
+	res, err := SimulateGoogleCluster(8, 6*3600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanConsolidation(res, 0.7, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Peak < 1 {
+		t.Fatalf("plan peak %v", plan.Peak)
+	}
+}
