@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench verify repro-quick
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The concurrency gate: the parallel experiment pipeline and the
+# index-sharded analysis scans must stay race-clean.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Serial-vs-parallel pipeline wall time.
+bench-parallel:
+	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel)$$' -run=^$$ .
+
+verify: test race
+
+repro-quick:
+	$(GO) run ./cmd/repro -scale quick

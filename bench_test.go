@@ -126,6 +126,27 @@ func BenchmarkFig13HostLoadComparison(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Pipeline benches: full-registry wall time, serial vs parallel. Each
+// iteration builds a fresh context so artifact generation (the
+// dominant cost) is measured, not just the analyses.
+
+func benchRunAll(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		ctx := core.NewContext(core.QuickConfig())
+		results, err := core.RunAllParallel(ctx, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(core.Experiments()) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
+// ---------------------------------------------------------------------------
 // Substrate micro-benchmarks: the hot paths underneath the figures.
 
 func BenchmarkGoogleWorkloadGeneration(b *testing.B) {

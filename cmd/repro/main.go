@@ -6,11 +6,18 @@
 //
 //	repro [-scale quick|full] [-only fig3,table1] [-out dir] [-check]
 //	      [-seed n] [-machines n] [-sim-days n] [-workload-days n]
+//	      [-parallel n]
 //
 // Tables print to stdout; with -out, every figure's data series is
 // written as a gnuplot-ready .dat file and every table as .csv. With
 // -check, the measured metrics are verified against the paper's
 // acceptance bands and the exit status reflects the verdict.
+//
+// Experiments run on a bounded worker pool (-parallel, default
+// GOMAXPROCS); output order, tables and data files are byte-identical
+// at every worker count because each experiment is a pure function of
+// (seed, label)-derived random streams. -parallel 1 runs strictly
+// serially.
 package main
 
 import (
@@ -40,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		machines     = fs.Int("machines", 0, "override simulated machine count")
 		simDays      = fs.Int("sim-days", 0, "override simulation horizon (days)")
 		workloadDays = fs.Int("workload-days", 0, "override workload horizon (days)")
+		parallel     = fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		verbose      = fs.Bool("v", false, "print measured metrics")
 		check        = fs.Bool("check", false, "verify metrics against the paper's acceptance bands")
 		extensions   = fs.Bool("extensions", false, "also run the extension analyses (periodicity, prediction, queueing, robustness)")
@@ -101,46 +109,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
 
 	var results []*core.Result
-	for _, e := range experiments {
-		start := time.Now()
-		res, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(stderr, "repro: %s: %v\n", e.ID, err)
-			return 1
-		}
-		results = append(results, res)
-		fmt.Fprintf(stdout, "=== %s (%.1fs)\n", e.Title, time.Since(start).Seconds())
-		for _, tbl := range res.Tables {
-			if err := tbl.Render(stdout); err != nil {
-				fmt.Fprintf(stderr, "repro: render: %v\n", err)
+	if *parallel == 1 {
+		// Strictly serial: run and emit one experiment at a time.
+		for _, e := range experiments {
+			start := time.Now()
+			res, err := e.Run(ctx)
+			if err != nil {
+				fmt.Fprintf(stderr, "repro: %s: %v\n", e.ID, err)
 				return 1
 			}
-		}
-		for _, note := range res.Notes {
-			fmt.Fprintf(stdout, "  note: %s\n", note)
-		}
-		if *verbose {
-			for k, v := range res.Metrics {
-				fmt.Fprintf(stdout, "  metric %s = %.4g\n", k, v)
+			results = append(results, res)
+			if code := emitResult(stdout, stderr, e.Title, res, time.Since(start), *verbose, *out); code != 0 {
+				return code
 			}
 		}
-		if *out != "" {
-			for _, tbl := range res.Tables {
-				if _, err := tbl.SaveCSV(*out); err != nil {
-					fmt.Fprintf(stderr, "repro: %v\n", err)
-					return 1
-				}
-			}
-			for _, s := range res.Series {
-				path, err := s.SaveDAT(*out)
-				if err != nil {
-					fmt.Fprintf(stderr, "repro: %v\n", err)
-					return 1
-				}
-				fmt.Fprintf(stdout, "  wrote %s\n", path)
+	} else {
+		// Fan out over the worker pool, recording each experiment's own
+		// wall time, then emit in registry order. The per-label child
+		// streams make the output byte-identical to the serial path.
+		durs := make([]time.Duration, len(experiments))
+		timed := make([]core.Experiment, len(experiments))
+		for i, e := range experiments {
+			timed[i] = core.Experiment{ID: e.ID, Title: e.Title, Run: func(c *core.Context) (*core.Result, error) {
+				start := time.Now()
+				res, err := e.Run(c)
+				durs[i] = time.Since(start)
+				return res, err
+			}}
+		}
+		rs, err := core.RunExperimentsParallel(ctx, timed, *parallel)
+		for i, res := range rs {
+			if code := emitResult(stdout, stderr, experiments[i].Title, res, durs[i], *verbose, *out); code != 0 {
+				return code
 			}
 		}
-		fmt.Fprintln(stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+		results = rs
 	}
 
 	if *markdown != "" {
@@ -164,14 +171,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// emitResult prints one experiment's tables, notes and metrics and
+// saves its data files. Metric keys are sorted so verbose output is
+// stable run-to-run. Returns the process exit code (0 on success).
+func emitResult(stdout, stderr io.Writer, title string, res *core.Result, elapsed time.Duration, verbose bool, outDir string) int {
+	fmt.Fprintf(stdout, "=== %s (%.1fs)\n", title, elapsed.Seconds())
+	for _, tbl := range res.Tables {
+		if err := tbl.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "repro: render: %v\n", err)
+			return 1
+		}
+	}
+	for _, note := range res.Notes {
+		fmt.Fprintf(stdout, "  note: %s\n", note)
+	}
+	if verbose {
+		for _, k := range sortedKeys(res.Metrics) {
+			fmt.Fprintf(stdout, "  metric %s = %.4g\n", k, res.Metrics[k])
+		}
+	}
+	if outDir != "" {
+		for _, tbl := range res.Tables {
+			if _, err := tbl.SaveCSV(outDir); err != nil {
+				fmt.Fprintf(stderr, "repro: %v\n", err)
+				return 1
+			}
+		}
+		for _, s := range res.Series {
+			path, err := s.SaveDAT(outDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "repro: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "  wrote %s\n", path)
+		}
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // writeMarkdownReport renders every result's tables, notes and metrics
-// as one Markdown document.
+// as one Markdown document. The file is closed exactly once and a
+// close (flush) error is reported unless a write error precedes it.
 func writeMarkdownReport(path string, cfg core.Config, results []*core.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	werr := renderMarkdownReport(f, cfg, results)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// renderMarkdownReport writes the report body.
+func renderMarkdownReport(f io.Writer, cfg core.Config, results []*core.Result) error {
 	fmt.Fprintf(f, "# Reproduction report\n\n")
 	fmt.Fprintf(f, "Scale: %d machines, %.0f-day simulation, %.0f-day workload, seed %d.\n\n",
 		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
@@ -187,17 +253,12 @@ func writeMarkdownReport(path string, cfg core.Config, results []*core.Result) e
 			fmt.Fprintf(f, "> %s\n\n", note)
 		}
 		if len(r.Metrics) > 0 {
-			keys := make([]string, 0, len(r.Metrics))
-			for k := range r.Metrics {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
 			fmt.Fprintf(f, "<details><summary>metrics</summary>\n\n")
-			for _, k := range keys {
+			for _, k := range sortedKeys(r.Metrics) {
 				fmt.Fprintf(f, "- `%s` = %.4g\n", k, r.Metrics[k])
 			}
 			fmt.Fprintf(f, "\n</details>\n\n")
 		}
 	}
-	return f.Close()
+	return nil
 }

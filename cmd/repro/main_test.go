@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,75 @@ func TestReproVerboseMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "metric google_joint_items") {
 		t.Fatalf("metrics missing:\n%s", out.String())
+	}
+}
+
+// timingRe matches the per-experiment wall-time suffix, the only part
+// of the output allowed to differ between worker counts.
+var timingRe = regexp.MustCompile(`\([0-9.]+s\)`)
+
+// TestReproParallelMatchesSerial runs the full quick registry at one
+// and at eight workers and requires byte-identical stdout (timing
+// normalised) and byte-identical .dat/.csv output files.
+func TestReproParallelMatchesSerial(t *testing.T) {
+	dirs := map[int]string{1: t.TempDir(), 8: t.TempDir()}
+	outs := map[int]string{}
+	for _, workers := range []int{1, 8} {
+		var out, errOut bytes.Buffer
+		code := run(tiny("-out", dirs[workers], "-v", "-parallel", strconv.Itoa(workers)), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("parallel=%d: exit %d: %s", workers, code, errOut.String())
+		}
+		// The -out lines name the temp dir; strip it so the two runs compare.
+		text := strings.ReplaceAll(out.String(), dirs[workers], "OUT")
+		outs[workers] = timingRe.ReplaceAllString(text, "(T)")
+	}
+	if outs[1] != outs[8] {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s", outs[1], outs[8])
+	}
+
+	serialFiles, err := os.ReadDir(dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialFiles) == 0 {
+		t.Fatal("serial run wrote no output files")
+	}
+	for _, f := range serialFiles {
+		a, err := os.ReadFile(filepath.Join(dirs[1], f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[8], f.Name()))
+		if err != nil {
+			t.Fatalf("parallel run missing %s: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8", f.Name())
+		}
+	}
+}
+
+// TestReproVerboseMetricsSorted checks that -v metric lines print in
+// sorted key order (they ranged over a map before, so ordering was
+// nondeterministic run-to-run).
+func TestReproVerboseMetricsSorted(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(tiny("-only", "fig4", "-v"), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var keys []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "metric "); ok {
+			keys = append(keys, strings.SplitN(rest, " ", 2)[0])
+		}
+	}
+	if len(keys) < 2 {
+		t.Fatalf("expected several metric lines, got %v", keys)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("metric keys not sorted: %v", keys)
 	}
 }
 

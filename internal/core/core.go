@@ -66,83 +66,116 @@ func QuickConfig() Config {
 	}
 }
 
+// cell is a lazily-computed artifact: the computation runs exactly
+// once (even under concurrent first access) and both its value and
+// its error are memoized, so a failed computation fails fast forever
+// instead of silently re-running for every subsequent caller.
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// get runs build on first call and returns the memoized outcome on
+// every call. Concurrent callers of the same cell block only until
+// that cell's build finishes, not on unrelated artifacts.
+func (c *cell[T]) get(build func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = build() })
+	return c.val, c.err
+}
+
 // Context memoizes the heavy artifacts shared by the experiments so
 // the full reproduction generates each workload and runs the simulator
-// exactly once.
+// exactly once. Each artifact lives in its own lazy cell, so
+// concurrent experiments contend only on the artifact they actually
+// need: a Fig 3 worker generating Grid jobs never blocks behind the
+// cluster simulation a Fig 7 worker is running.
 type Context struct {
 	Cfg Config
 
-	mu          sync.Mutex
-	googleTasks []trace.Task
-	googleJobs  []trace.Job
-	sim         *cluster.Result
-	gridJobs    map[string][]trace.Job
+	googleTasks cell[[]trace.Task]
+	googleJobs  cell[[]trace.Job]
+	sim         cell[*cluster.Result]
+
+	gridMu   sync.Mutex // guards the gridJobs map structure only
+	gridJobs map[string]*cell[[]trace.Job]
+
+	// simulate is a seam for tests that count or fail simulator
+	// invocations; production contexts always use cluster.Simulate.
+	simulate func(cluster.Config, []trace.Task, *rng.Stream) (*cluster.Result, error)
 }
 
 // NewContext returns an empty context for the given configuration.
 func NewContext(cfg Config) *Context {
-	return &Context{Cfg: cfg, gridJobs: make(map[string][]trace.Job)}
+	return &Context{
+		Cfg:      cfg,
+		gridJobs: make(map[string]*cell[[]trace.Job]),
+		simulate: cluster.Simulate,
+	}
 }
 
 // GoogleTasks returns the workload-analysis task trace (full
 // submission rate, Section III).
 func (c *Context) GoogleTasks() []trace.Task {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.googleTasks == nil {
+	tasks, _ := c.googleTasks.get(func() ([]trace.Task, error) {
 		gcfg := synth.DefaultGoogleConfig(c.Cfg.WorkloadHorizon)
 		gcfg.MaxTasksPerJob = c.Cfg.WorkloadMaxTasksPerJob
-		c.googleTasks = synth.GenerateGoogleTasks(gcfg, rng.New(c.Cfg.Seed).Child("google-workload"))
-	}
-	return c.googleTasks
+		return synth.GenerateGoogleTasks(gcfg, rng.New(c.Cfg.Seed).Child("google-workload")), nil
+	})
+	return tasks
 }
 
 // GoogleJobs returns the per-job summaries of GoogleTasks.
 func (c *Context) GoogleJobs() []trace.Job {
-	tasks := c.GoogleTasks()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.googleJobs == nil {
-		c.googleJobs = synth.GoogleJobsFromTasks(tasks)
-	}
-	return c.googleJobs
+	jobs, _ := c.googleJobs.get(func() ([]trace.Job, error) {
+		return synth.GoogleJobsFromTasks(c.GoogleTasks()), nil
+	})
+	return jobs
 }
 
 // Sim returns the memoized cluster simulation (scaled submission rate,
-// Section IV).
+// Section IV). A simulation error is memoized too: a broken config
+// fails every caller fast instead of re-running the whole simulation.
 func (c *Context) Sim() (*cluster.Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.sim == nil {
+	return c.sim.get(func() (*cluster.Result, error) {
 		seed := rng.New(c.Cfg.Seed)
 		machines := synth.GoogleMachines(c.Cfg.Machines, seed.Child("machines"))
 		gcfg := synth.ScaledGoogleConfig(c.Cfg.Machines, c.Cfg.SimHorizon)
 		tasks := synth.GenerateGoogleTasks(gcfg, seed.Child("google-sim"))
 		cfg := cluster.DefaultConfig(machines, c.Cfg.SimHorizon)
-		res, err := cluster.Simulate(cfg, tasks, seed.Child("sim"))
+		simulate := c.simulate
+		if simulate == nil { // zero-value Context
+			simulate = cluster.Simulate
+		}
+		res, err := simulate(cfg, tasks, seed.Child("sim"))
 		if err != nil {
 			return nil, fmt.Errorf("core: simulate: %w", err)
 		}
-		c.sim = res
-	}
-	return c.sim, nil
+		return res, nil
+	})
 }
 
 // GridJobs returns the memoized job stream of the named Grid system
-// over the workload horizon.
+// over the workload horizon. Distinct systems generate concurrently;
+// only callers of the same system share a cell.
 func (c *Context) GridJobs(name string) ([]trace.Job, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if jobs, ok := c.gridJobs[name]; ok {
-		return jobs, nil
+	c.gridMu.Lock()
+	if c.gridJobs == nil { // zero-value Context
+		c.gridJobs = make(map[string]*cell[[]trace.Job])
 	}
-	sys, err := synth.SystemByName(name)
-	if err != nil {
-		return nil, err
+	cl, ok := c.gridJobs[name]
+	if !ok {
+		cl = &cell[[]trace.Job]{}
+		c.gridJobs[name] = cl
 	}
-	jobs := sys.Generate(c.Cfg.WorkloadHorizon, rng.New(c.Cfg.Seed).Child("grid-"+name))
-	c.gridJobs[name] = jobs
-	return jobs, nil
+	c.gridMu.Unlock()
+	return cl.get(func() ([]trace.Job, error) {
+		sys, err := synth.SystemByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Generate(c.Cfg.WorkloadHorizon, rng.New(c.Cfg.Seed).Child("grid-"+name)), nil
+	})
 }
 
 // Result is one regenerated paper artifact.
@@ -200,15 +233,8 @@ func Find(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment against one shared context.
+// RunAll executes every experiment sequentially against one shared
+// context. It is RunAllParallel with a single worker.
 func RunAll(ctx *Context) ([]*Result, error) {
-	var out []*Result
-	for _, e := range Experiments() {
-		r, err := e.Run(ctx)
-		if err != nil {
-			return out, fmt.Errorf("core: %s: %w", e.ID, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunAllParallel(ctx, 1)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hostload"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -55,22 +56,27 @@ func Fig7(ctx *Context) (*Result, error) {
 	res.Metrics["cpu_maxload_at_capacity_cap025"] = atCap[0.25]
 	res.Metrics["cpu_maxload_at_capacity_cap05"] = atCap[0.5]
 	res.Metrics["cpu_maxload_at_capacity_cap1"] = atCap[1.0]
-	memMax := hostload.MaxLoadsByClass(sim.Machines, hostload.MemUsed)
-	var relMax []float64
-	for c, ms := range memMax {
-		for _, m := range ms {
-			relMax = append(relMax, m/c)
+	// Iterate capacity classes in sorted order: ranging over the map
+	// directly would make the floating-point mean depend on Go's
+	// randomised map order and so differ run-to-run in the last ulp.
+	relMaxOverCapacity := func(byClass map[float64][]float64) float64 {
+		caps := make([]float64, 0, len(byClass))
+		for c := range byClass {
+			caps = append(caps, c)
 		}
-	}
-	res.Metrics["mem_mean_max_over_capacity"] = stats.Mean(relMax)
-	assignMax := hostload.MaxLoadsByClass(sim.Machines, hostload.MemAssigned)
-	relMax = relMax[:0]
-	for c, ms := range assignMax {
-		for _, m := range ms {
-			relMax = append(relMax, m/c)
+		sort.Float64s(caps)
+		var relMax []float64
+		for _, c := range caps {
+			for _, m := range byClass[c] {
+				relMax = append(relMax, m/c)
+			}
 		}
+		return stats.Mean(relMax)
 	}
-	res.Metrics["assigned_mean_max_over_capacity"] = stats.Mean(relMax)
+	res.Metrics["mem_mean_max_over_capacity"] =
+		relMaxOverCapacity(hostload.MaxLoadsByClass(sim.Machines, hostload.MemUsed))
+	res.Metrics["assigned_mean_max_over_capacity"] =
+		relMaxOverCapacity(hostload.MaxLoadsByClass(sim.Machines, hostload.MemAssigned))
 	res.Notes = append(res.Notes,
 		"paper: CPU maxima near capacity (80%/70% for low/mid classes); max memory ~80% of capacity; assigned ~90%; page cache bimodal")
 	return res, nil
@@ -88,10 +94,9 @@ func Fig8(ctx *Context) (*Result, error) {
 		idx  int
 		mean float64
 	}
-	occs := make([]occ, len(sim.Machines))
-	for i, m := range sim.Machines {
-		occs[i] = occ{i, stats.Mean(m.Running.Values)}
-	}
+	occs := par.Map(len(sim.Machines), 0, func(i int) occ {
+		return occ{i, stats.Mean(sim.Machines[i].Running.Values)}
+	})
 	sort.Slice(occs, func(i, j int) bool { return occs[i].mean < occs[j].mean })
 	pick := occs[len(occs)/2].idx
 	ms := sim.Machines[pick]
@@ -231,8 +236,13 @@ func Fig10(ctx *Context) (*Result, error) {
 		var counts [hostload.UsageLevels]int
 		total := 0
 		s := report.NewSeries(p.id, "Usage level trace: "+p.title, "day")
-		for mi, ms := range sample {
-			levels := hostload.LevelTrace(ms, p.attr, p.group)
+		// Quantise every machine in parallel; aggregate serially in
+		// machine order so counts and exported rows are unchanged.
+		traces := par.Map(len(sample), 0, func(mi int) []int {
+			return hostload.LevelTrace(sample[mi], p.attr, p.group)
+		})
+		for mi, levels := range traces {
+			ms := sample[mi]
 			if mi == 0 {
 				xs := make([]float64, len(levels))
 				for i := range xs {
@@ -415,10 +425,10 @@ func Fig13(ctx *Context) (*Result, error) {
 		idx  int
 		mean float64
 	}
-	loads := make([]mload, len(sim.Machines))
-	for i, m := range sim.Machines {
-		loads[i] = mload{i, stats.Mean(hostload.RelativeSeries(m, hostload.CPUUsage, trace.LowPriority).Values)}
-	}
+	loads := par.Map(len(sim.Machines), 0, func(i int) mload {
+		rel := hostload.RelativeSeries(sim.Machines[i], hostload.CPUUsage, trace.LowPriority)
+		return mload{i, stats.Mean(rel.Values)}
+	})
 	sort.Slice(loads, func(i, j int) bool { return loads[i].mean < loads[j].mean })
 	gm := sim.Machines[loads[len(loads)/2].idx]
 	gCPU := hostload.RelativeSeries(gm, hostload.CPUUsage, trace.LowPriority)
@@ -500,12 +510,13 @@ func Fig13(ctx *Context) (*Result, error) {
 }
 
 // gridHostPopulation synthesises n independent Grid-host CPU series.
+// Each host draws from its own (seed, label) child stream, so the
+// hosts generate in parallel yet the population is identical to a
+// serial loop.
 func gridHostPopulation(system string, n int, horizon int64, s *rng.Stream) []*timeseries.Series {
-	out := make([]*timeseries.Series, 0, n)
 	cfg := synth.DefaultGridHost(system)
-	for i := 0; i < n; i++ {
+	return par.Map(n, 0, func(i int) *timeseries.Series {
 		cpu, _ := synth.GridHostSeries(cfg, horizon, s.Child(fmt.Sprintf("host%d", i)))
-		out = append(out, cpu)
-	}
-	return out
+		return cpu
+	})
 }

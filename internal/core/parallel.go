@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// RunAllParallel executes every paper experiment against one shared
+// context over a bounded worker pool and returns the results in
+// registry order regardless of completion order. workers <= 0 means
+// GOMAXPROCS; workers == 1 reproduces RunAll's exact serial behavior
+// (inline execution, stop at the first error).
+//
+// Parallel results are byte-identical to serial ones: every artifact
+// an experiment consumes is either memoized once in the Context's
+// lazy cells or derived from a splittable rng child stream keyed only
+// by (seed, label), so no experiment can observe how many neighbours
+// run beside it.
+func RunAllParallel(ctx *Context, workers int) ([]*Result, error) {
+	return RunExperimentsParallel(ctx, Experiments(), workers)
+}
+
+// RunExperimentsParallel is RunAllParallel over an explicit experiment
+// list (a -only selection, or the registry plus extensions).
+//
+// Error semantics mirror the serial runner's: the returned error is
+// the first failure in list order, and the result slice holds every
+// experiment before that failure. With more than one worker,
+// experiments after the first failure may also have run; their
+// results are discarded so callers see the same prefix either way.
+func RunExperimentsParallel(ctx *Context, exps []Experiment, workers int) ([]*Result, error) {
+	w := par.Workers(workers, len(exps))
+	if w == 1 {
+		out := make([]*Result, 0, len(exps))
+		for _, e := range exps {
+			r, err := e.Run(ctx)
+			if err != nil {
+				return out, fmt.Errorf("core: %s: %w", e.ID, err)
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+	par.ForEach(len(exps), w, func(i int) {
+		r, err := exps[i].Run(ctx)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: %s: %w", exps[i].ID, err)
+			return
+		}
+		results[i] = r
+	})
+	for i, err := range errs {
+		if err != nil {
+			return results[:i], err
+		}
+	}
+	return results, nil
+}

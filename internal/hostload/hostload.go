@@ -12,10 +12,17 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
+
+// The per-machine scans below fan out over an index-sharded worker
+// pool (par.Map) and merge the per-machine partials serially in
+// machine order, so their output — including floating-point
+// accumulation order — is byte-identical to a plain loop over the
+// machines.
 
 // Attribute selects which host signal an analysis reads.
 type Attribute int
@@ -94,14 +101,23 @@ func RelativeSeries(ms *cluster.MachineSeries, attr Attribute, minGroup trace.Pr
 // units, NOT divided by capacity — the paper plots absolute normalised
 // load with the capacity classes as reference lines).
 func MaxLoadsByClass(machines []*cluster.MachineSeries, attr Attribute) map[float64][]float64 {
-	out := make(map[float64][]float64)
-	for _, ms := range machines {
-		cap := Capacity(ms.Machine, attr)
+	type classMax struct {
+		cap, max float64
+		ok       bool
+	}
+	maxes := par.Map(len(machines), 0, func(i int) classMax {
+		ms := machines[i]
 		s := SeriesOf(ms, attr, trace.LowPriority)
 		if s == nil || s.Len() == 0 {
-			continue
+			return classMax{}
 		}
-		out[cap] = append(out[cap], stats.Max(s.Values))
+		return classMax{Capacity(ms.Machine, attr), stats.Max(s.Values), true}
+	})
+	out := make(map[float64][]float64)
+	for _, m := range maxes {
+		if m.ok {
+			out[m.cap] = append(out[m.cap], m.max)
+		}
 	}
 	return out
 }
@@ -207,21 +223,29 @@ func RunningStateDurations(machines []*cluster.MachineSeries, intervals []CountI
 		}
 		return -1
 	}
-	for _, ms := range machines {
-		run := ms.Running
+	perMachine := par.Map(len(machines), 0, func(mi int) [][]float64 {
+		run := machines[mi].Running
 		if run.Len() == 0 {
-			continue
+			return nil
 		}
 		levels := make([]int, run.Len())
 		for i, v := range run.Values {
 			levels[i] = binOf(int(v + 0.5))
 		}
+		durs := make([][]float64, len(intervals))
 		for _, seg := range run.SegmentsOf(levels) {
 			if seg.Level < 0 {
 				continue
 			}
-			iv := intervals[seg.Level]
-			out[iv] = append(out[iv], float64(seg.Duration))
+			durs[seg.Level] = append(durs[seg.Level], float64(seg.Duration))
+		}
+		return durs
+	})
+	for _, durs := range perMachine {
+		for bi, ds := range durs {
+			if len(ds) > 0 {
+				out[intervals[bi]] = append(out[intervals[bi]], ds...)
+			}
 		}
 	}
 	return out
@@ -244,11 +268,18 @@ func LevelTrace(ms *cluster.MachineSeries, attr Attribute, minGroup trace.Priori
 // maximal runs during which the relative usage stays inside each of
 // the five levels (the rows of Tables II and III).
 func LevelDurations(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) [UsageLevels][]float64 {
-	var out [UsageLevels][]float64
-	for _, ms := range machines {
-		rel := RelativeSeries(ms, attr, minGroup)
+	perMachine := par.Map(len(machines), 0, func(i int) [UsageLevels][]float64 {
+		var durs [UsageLevels][]float64
+		rel := RelativeSeries(machines[i], attr, minGroup)
 		for _, seg := range rel.LevelSegments(UsageLevels) {
-			out[seg.Level] = append(out[seg.Level], float64(seg.Duration))
+			durs[seg.Level] = append(durs[seg.Level], float64(seg.Duration))
+		}
+		return durs
+	})
+	var out [UsageLevels][]float64
+	for _, durs := range perMachine {
+		for lvl := range durs {
+			out[lvl] = append(out[lvl], durs[lvl]...)
 		}
 	}
 	return out
@@ -257,10 +288,10 @@ func LevelDurations(machines []*cluster.MachineSeries, attr Attribute, minGroup 
 // UsageSamples flattens all machines' relative usage samples into one
 // slice of percentages in [0, 100] (Figs 11-12 x-axis).
 func UsageSamples(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) []float64 {
-	var out []float64
-	for _, ms := range machines {
-		rel := RelativeSeries(ms, attr, minGroup)
-		for _, v := range rel.Values {
+	perMachine := par.Map(len(machines), 0, func(i int) []float64 {
+		rel := RelativeSeries(machines[i], attr, minGroup)
+		ps := make([]float64, len(rel.Values))
+		for j, v := range rel.Values {
 			p := v * 100
 			if p < 0 {
 				p = 0
@@ -268,8 +299,17 @@ func UsageSamples(machines []*cluster.MachineSeries, attr Attribute, minGroup tr
 			if p > 100 {
 				p = 100
 			}
-			out = append(out, p)
+			ps[j] = p
 		}
+		return ps
+	})
+	var n int
+	for _, ps := range perMachine {
+		n += len(ps)
+	}
+	out := make([]float64, 0, n)
+	for _, ps := range perMachine {
+		out = append(out, ps...)
 	}
 	return out
 }
@@ -287,13 +327,10 @@ type NoiseStats struct {
 // of the given half-width and summarises across machines, mirroring
 // the paper's min/mean/max noise comparison.
 func Noise(machines []*cluster.MachineSeries, attr Attribute, half int) NoiseStats {
-	var vals []float64
-	for _, ms := range machines {
-		rel := RelativeSeries(ms, attr, trace.LowPriority)
-		if n := rel.Noise(half); !math.IsNaN(n) {
-			vals = append(vals, n)
-		}
-	}
+	perMachine := par.Map(len(machines), 0, func(i int) float64 {
+		return RelativeSeries(machines[i], attr, trace.LowPriority).Noise(half)
+	})
+	vals := dropNaN(perMachine)
 	if len(vals) == 0 {
 		return NoiseStats{}
 	}
@@ -308,12 +345,10 @@ func Noise(machines []*cluster.MachineSeries, attr Attribute, half int) NoiseSta
 // SeriesNoise summarises noise over raw series (used for the synthetic
 // Grid host models, which are already relative).
 func SeriesNoise(series []*timeseries.Series, half int) NoiseStats {
-	var vals []float64
-	for _, s := range series {
-		if n := s.Noise(half); !math.IsNaN(n) {
-			vals = append(vals, n)
-		}
-	}
+	perSeries := par.Map(len(series), 0, func(i int) float64 {
+		return series[i].Noise(half)
+	})
+	vals := dropNaN(perSeries)
 	if len(vals) == 0 {
 		return NoiseStats{}
 	}
@@ -328,26 +363,19 @@ func SeriesNoise(series []*timeseries.Series, half int) NoiseStats {
 // MeanAutocorrelation returns the mean lag-k autocorrelation of the
 // machines' relative usage.
 func MeanAutocorrelation(machines []*cluster.MachineSeries, attr Attribute, lag int) float64 {
-	var vals []float64
-	for _, ms := range machines {
-		rel := RelativeSeries(ms, attr, trace.LowPriority)
-		if ac := rel.Autocorrelation(lag); !math.IsNaN(ac) {
-			vals = append(vals, ac)
-		}
-	}
-	return stats.Mean(vals)
+	perMachine := par.Map(len(machines), 0, func(i int) float64 {
+		return RelativeSeries(machines[i], attr, trace.LowPriority).Autocorrelation(lag)
+	})
+	return stats.Mean(dropNaN(perMachine))
 }
 
 // MeanSeriesAutocorrelation is the raw-series analogue for the Grid
 // host models.
 func MeanSeriesAutocorrelation(series []*timeseries.Series, lag int) float64 {
-	var vals []float64
-	for _, s := range series {
-		if ac := s.Autocorrelation(lag); !math.IsNaN(ac) {
-			vals = append(vals, ac)
-		}
-	}
-	return stats.Mean(vals)
+	perSeries := par.Map(len(series), 0, func(i int) float64 {
+		return series[i].Autocorrelation(lag)
+	})
+	return stats.Mean(dropNaN(perSeries))
 }
 
 // CPUMemCorrelation returns the mean per-machine Pearson correlation
@@ -355,25 +383,27 @@ func MeanSeriesAutocorrelation(series []*timeseries.Series, lag int) float64 {
 // drives both, correlate strongly; Google hosts mix CPU-light services
 // with CPU-heavy batch, decoupling the two signals.
 func CPUMemCorrelation(machines []*cluster.MachineSeries) float64 {
-	var vals []float64
-	for _, ms := range machines {
-		cpu := RelativeSeries(ms, CPUUsage, trace.LowPriority)
-		mem := RelativeSeries(ms, MemUsed, trace.LowPriority)
-		if c := stats.Correlation(cpu.Values, mem.Values); !math.IsNaN(c) {
-			vals = append(vals, c)
-		}
-	}
-	return stats.Mean(vals)
+	perMachine := par.Map(len(machines), 0, func(i int) float64 {
+		cpu := RelativeSeries(machines[i], CPUUsage, trace.LowPriority)
+		mem := RelativeSeries(machines[i], MemUsed, trace.LowPriority)
+		return stats.Correlation(cpu.Values, mem.Values)
+	})
+	return stats.Mean(dropNaN(perMachine))
 }
 
 // MeanRelativeUsage returns the average relative usage across all
 // machines and samples (the paper: CPU ~35% overall, ~20% for
 // high-priority tasks; memory ~60% and ~50%).
 func MeanRelativeUsage(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) float64 {
+	// The division by capacity dominates; compute the relative series in
+	// parallel but accumulate serially in machine order so the sum's
+	// floating-point association matches a plain loop exactly.
+	rels := par.Map(len(machines), 0, func(i int) *timeseries.Series {
+		return RelativeSeries(machines[i], attr, minGroup)
+	})
 	var sum float64
 	var n int
-	for _, ms := range machines {
-		rel := RelativeSeries(ms, attr, minGroup)
+	for _, rel := range rels {
 		for _, v := range rel.Values {
 			sum += v
 			n++
@@ -383,4 +413,15 @@ func MeanRelativeUsage(machines []*cluster.MachineSeries, attr Attribute, minGro
 		return math.NaN()
 	}
 	return sum / float64(n)
+}
+
+// dropNaN filters NaN entries, preserving order.
+func dropNaN(xs []float64) []float64 {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			vals = append(vals, x)
+		}
+	}
+	return vals
 }

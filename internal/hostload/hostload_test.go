@@ -2,6 +2,7 @@ package hostload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
@@ -214,6 +215,51 @@ func TestNoiseComparisonGoogleVsGrid(t *testing.T) {
 	}
 	if gAC >= agAC {
 		t.Errorf("google autocorrelation %v should be below grid %v", gAC, agAC)
+	}
+}
+
+// TestScansDeterministicAcrossRuns re-runs every parallelised
+// per-machine scan on the same simulated park and requires identical
+// output each time: the index-sharded workers must merge in machine
+// order no matter how the scheduler interleaves them.
+func TestScansDeterministicAcrossRuns(t *testing.T) {
+	machines := synth.GoogleMachines(16, rng.New(7))
+	horizon := int64(86400)
+	cfg := cluster.DefaultConfig(machines, horizon)
+	gcfg := synth.ScaledGoogleConfig(len(machines), horizon)
+	tasks := synth.GenerateGoogleTasks(gcfg, rng.New(8))
+	res, err := cluster.Simulate(cfg, tasks, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type snapshot struct {
+		maxLoads  map[float64][]float64
+		runDurs   map[CountInterval][]float64
+		levelDurs [UsageLevels][]float64
+		samples   []float64
+		noise     NoiseStats
+		autocorr  float64
+		cpuMem    float64
+		meanUsage float64
+	}
+	take := func() snapshot {
+		return snapshot{
+			maxLoads:  MaxLoadsByClass(res.Machines, CPUUsage),
+			runDurs:   RunningStateDurations(res.Machines, DefaultCountIntervals()),
+			levelDurs: LevelDurations(res.Machines, CPUUsage, trace.LowPriority),
+			samples:   UsageSamples(res.Machines, MemUsed, trace.LowPriority),
+			noise:     Noise(res.Machines, CPUUsage, 2),
+			autocorr:  MeanAutocorrelation(res.Machines, CPUUsage, 1),
+			cpuMem:    CPUMemCorrelation(res.Machines),
+			meanUsage: MeanRelativeUsage(res.Machines, CPUUsage, trace.LowPriority),
+		}
+	}
+	first := take()
+	for i := 0; i < 3; i++ {
+		if again := take(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d produced different results:\nfirst: %+v\nagain: %+v", i+1, first, again)
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package par provides the small deterministic-parallelism helper the
+// analyses are built on: a bounded, index-sharded parallel for-loop.
+//
+// Determinism is the caller's contract, not the scheduler's: every
+// worker receives disjoint indices and must write only to the i-th
+// slot of a pre-sized output, so the merged result is independent of
+// goroutine interleaving. Combined with the splittable rng.Stream
+// (each unit of work derives its own child stream from a label), a
+// parallel run is byte-identical to a serial one.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a requested worker count: values <= 0 mean
+// GOMAXPROCS, and the count is capped at n since extra workers would
+// only idle.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) using up to workers
+// goroutines (workers <= 0 means GOMAXPROCS). Each index is executed
+// exactly once. With one worker (or n <= 1) the loop runs inline on
+// the calling goroutine, so serial callers pay no scheduling cost.
+// A panic in any fn is re-raised on the calling goroutine after the
+// remaining workers drain, matching serial panic semantics.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over [0, n) with the given worker bound and collects the
+// results in index order. It is the pre-sized-slice idiom of ForEach
+// packaged for the common "one output per input" case.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -124,6 +124,15 @@ func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentResult, error) {
 	return core.RunAll(core.NewContext(cfg))
 }
 
+// RunAllExperimentsParallel is RunAllExperiments over a bounded worker
+// pool (workers <= 0 means GOMAXPROCS). Results come back in registry
+// order and are byte-identical to the serial run: every experiment
+// draws from splittable (seed, label) random streams, so no experiment
+// can observe how many neighbours run beside it.
+func RunAllExperimentsParallel(cfg ExperimentConfig, workers int) ([]*ExperimentResult, error) {
+	return core.RunAllParallel(core.NewContext(cfg), workers)
+}
+
 // DefaultExperimentConfig is the full reproduction scale.
 func DefaultExperimentConfig() ExperimentConfig { return core.DefaultConfig() }
 
