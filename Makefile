@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify repro-quick
+.PHONY: build test race bench verify repro-quick check bench-json
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,25 @@ bench-parallel:
 	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel)$$' -run=^$$ .
 
 verify: test race
+
+# Full hygiene gate: formatting, vet, the race detector, and the
+# instrumentation-never-changes-outputs invariant.
+check:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -run 'TestInstrumentationByteIdentical|TestInstrumentationDoesNotChangeResults' \
+		./cmd/repro ./internal/core
+
+# Machine-readable benchmark snapshot: the pipeline benches plus the
+# simulator and observability micro-benches, as JSON.
+bench-json:
+	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel|ParallelInstrumented)$$' -benchmem -run=^$$ . > /tmp/bench_root.txt
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/cluster >> /tmp/bench_root.txt
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs >> /tmp/bench_root.txt
+	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+	@echo wrote BENCH_pr2.json
 
 repro-quick:
 	$(GO) run ./cmd/repro -scale quick

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gridsim"
 	"repro/internal/hostload"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -145,6 +146,23 @@ func benchRunAll(b *testing.B, workers int) {
 
 func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
 func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
+// BenchmarkRunAllParallelInstrumented is BenchmarkRunAllParallel with a
+// full observability recorder attached — the delta between the two is
+// the end-to-end instrumentation overhead (budget: <5%).
+func BenchmarkRunAllParallelInstrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := core.NewContext(core.QuickConfig())
+		ctx.SetRecorder(obs.NewRecorder())
+		results, err := core.RunAllParallel(ctx, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(core.Experiments()) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks: the hot paths underneath the figures.

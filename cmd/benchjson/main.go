@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` text output into a
+// single JSON document, so benchmark results can be committed and
+// diffed across PRs without parsing fragile columns.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH.json
+//
+// Each benchmark line ("BenchmarkName-8  100  123 ns/op  45 B/op ...")
+// becomes one entry carrying the iteration count, ns/op, B/op,
+// allocs/op and any custom b.ReportMetric units; the goos/goarch/pkg/
+// cpu header lines become per-entry metadata. Non-benchmark lines
+// (PASS, ok, test logs) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the whole output document.
+type Doc struct {
+	Goos    string  `json:"goos,omitempty"`
+	Goarch  string  `json:"goarch,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Results []Entry `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	doc, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintf(stderr, "benchjson: no benchmark lines on stdin\n")
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parse reads go-test bench output. Header lines (goos:, goarch:,
+// pkg:, cpu:) apply to every benchmark line after them; pkg resets the
+// package attribution as multi-package runs emit a new header block.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Results: []Entry{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		e, err := parseBenchLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		e.Pkg = pkg
+		doc.Results = append(doc.Results, e)
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkX-8 N val unit [val unit]..."
+// line.
+func parseBenchLine(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Entry{}, fmt.Errorf("malformed benchmark line")
+	}
+	e := Entry{Name: fields[0]}
+	if name, procs, ok := strings.Cut(e.Name, "-"); ok {
+		if p, err := strconv.Atoi(procs); err == nil {
+			e.Name, e.Procs = name, p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("iterations: %w", err)
+	}
+	e.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			v := val
+			e.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			e.AllocsOp = &v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, nil
+}

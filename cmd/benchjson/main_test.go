@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunAllSerial-8     	       2	 734567890 ns/op	123456789 B/op	 1234567 allocs/op
+BenchmarkRunAllParallel-8   	       3	 334567890 ns/op	123456789 B/op	 1234567 allocs/op
+BenchmarkTable1SubmissionRates-8	     100	  11724908 ns/op	         0.9213 Google_fairness	 4000000 B/op	   50000 allocs/op
+PASS
+ok  	repro	12.345s
+pkg: repro/internal/cluster
+BenchmarkSimulate 	      18	  60310496 ns/op
+PASS
+ok  	repro/internal/cluster	2.2s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("meta = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(doc.Results))
+	}
+
+	serial := doc.Results[0]
+	if serial.Name != "BenchmarkRunAllSerial" || serial.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", serial.Name, serial.Procs)
+	}
+	if serial.Pkg != "repro" || serial.Iterations != 2 || serial.NsPerOp != 734567890 {
+		t.Errorf("serial = %+v", serial)
+	}
+	if serial.BytesPerOp == nil || *serial.BytesPerOp != 123456789 {
+		t.Errorf("bytes/op = %v", serial.BytesPerOp)
+	}
+	if serial.AllocsOp == nil || *serial.AllocsOp != 1234567 {
+		t.Errorf("allocs/op = %v", serial.AllocsOp)
+	}
+
+	table1 := doc.Results[2]
+	if got := table1.Metrics["Google_fairness"]; got != 0.9213 {
+		t.Errorf("custom metric = %v", got)
+	}
+
+	sim := doc.Results[3]
+	if sim.Pkg != "repro/internal/cluster" {
+		t.Errorf("pkg attribution not reset: %q", sim.Pkg)
+	}
+	if sim.Procs != 0 || sim.Name != "BenchmarkSimulate" {
+		t.Errorf("no-suffix name = %q/%d", sim.Name, sim.Procs)
+	}
+	if sim.BytesPerOp != nil {
+		t.Error("bytes/op invented for a non-benchmem line")
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Results) != 4 {
+		t.Errorf("round-trip lost results: %d", len(doc.Results))
+	}
+}
+
+func TestRunNoBenchLines(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader("PASS\nok \trepro\t1s\n"), &out, &errOut); code == 0 {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseMalformedLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8 notanumber 5 ns/op\n")); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX-8 5\n")); err == nil {
+		t.Error("truncated line accepted")
+	}
+}

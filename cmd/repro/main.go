@@ -6,7 +6,8 @@
 //
 //	repro [-scale quick|full] [-only fig3,table1] [-out dir] [-check]
 //	      [-seed n] [-machines n] [-sim-days n] [-workload-days n]
-//	      [-parallel n]
+//	      [-parallel n] [-metrics-out file] [-trace-out file]
+//	      [-pprof addr] [-progress]
 //
 // Tables print to stdout; with -out, every figure's data series is
 // written as a gnuplot-ready .dat file and every table as .csv. With
@@ -18,18 +19,32 @@
 // at every worker count because each experiment is a pure function of
 // (seed, label)-derived random streams. -parallel 1 runs strictly
 // serially.
+//
+// Observability (-metrics-out, -trace-out, -pprof, -progress) is
+// strictly additive: .dat/.csv files, metric values and all stdout up
+// to the optional trailing timing summary are byte-identical with
+// instrumentation on or off (enforced by
+// TestInstrumentationByteIdentical). -metrics-out writes counters,
+// gauges, histograms and spans as JSONL; -trace-out writes a Chrome
+// trace_event file loadable in chrome://tracing or Perfetto.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -53,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		extensions   = fs.Bool("extensions", false, "also run the extension analyses (periodicity, prediction, queueing, robustness)")
 		markdown     = fs.String("markdown", "", "write a Markdown report of all tables to this file")
 		list         = fs.Bool("list", false, "list available experiments and exit")
+		metricsOut   = fs.String("metrics-out", "", "write metrics and spans as JSONL to this file")
+		traceOut     = fs.String("trace-out", "", "write a Chrome trace_event file to this file")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		progress     = fs.Bool("progress", false, "print per-experiment completion progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,17 +93,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "repro: unknown scale %q\n", *scale)
 		return 2
 	}
-	if *seed != 0 {
+	// Overrides apply when the flag was passed, not when it is non-zero:
+	// -seed 0 is a legal explicit seed, while an explicit zero or
+	// negative -machines/-sim-days/-workload-days is an error rather
+	// than a silently ignored value.
+	passed := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { passed[f.Name] = true })
+	if passed["seed"] {
 		cfg.Seed = *seed
 	}
-	if *machines > 0 {
+	if passed["machines"] {
+		if *machines <= 0 {
+			fmt.Fprintf(stderr, "repro: -machines must be positive, got %d\n", *machines)
+			return 2
+		}
 		cfg.Machines = *machines
 	}
-	if *simDays > 0 {
+	if passed["sim-days"] {
+		if *simDays <= 0 {
+			fmt.Fprintf(stderr, "repro: -sim-days must be positive, got %d\n", *simDays)
+			return 2
+		}
 		cfg.SimHorizon = int64(*simDays) * 86400
 	}
-	if *workloadDays > 0 {
+	if passed["workload-days"] {
+		if *workloadDays <= 0 {
+			fmt.Fprintf(stderr, "repro: -workload-days must be positive, got %d\n", *workloadDays)
+			return 2
+		}
 		cfg.WorkloadHorizon = int64(*workloadDays) * 86400
+	}
+
+	// Open observability outputs up front so a bad path fails before
+	// the (potentially minutes-long) run, not after it.
+	var rec *obs.Recorder
+	var metricsFile, traceFile *os.File
+	if *metricsOut != "" || *traceOut != "" {
+		rec = obs.NewRecorder()
+		var err error
+		if *metricsOut != "" {
+			if metricsFile, err = os.Create(*metricsOut); err != nil {
+				fmt.Fprintf(stderr, "repro: %v\n", err)
+				return 1
+			}
+			defer metricsFile.Close()
+		}
+		if *traceOut != "" {
+			if traceFile, err = os.Create(*traceOut); err != nil {
+				fmt.Fprintf(stderr, "repro: %v\n", err)
+				return 1
+			}
+			defer traceFile.Close()
+		}
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "repro: pprof: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint — DefaultServeMux carries the pprof handlers
 	}
 
 	experiments := core.Experiments()
@@ -105,19 +175,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	ctx := core.NewContext(cfg)
+	ctx.SetRecorder(rec)
 	fmt.Fprintf(stdout, "reproduction scale: %d machines, %.0fd sim, %.0fd workload, seed %d\n\n",
 		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
 
+	// Progress lines go to stderr (stdout stays byte-identical) and are
+	// serialised: completion order is nondeterministic under -parallel.
+	var progressMu sync.Mutex
+	var progressDone int
+	reportProgress := func(id string, elapsed time.Duration) {
+		if !*progress {
+			return
+		}
+		progressMu.Lock()
+		progressDone++
+		fmt.Fprintf(stderr, "progress: %s done in %.1fs [%d/%d]\n", id, elapsed.Seconds(), progressDone, len(experiments))
+		progressMu.Unlock()
+	}
+
+	runSpan := rec.Span("stage:experiments", obs.CatStage, obs.AutoTID)
 	var results []*core.Result
 	if *parallel == 1 {
 		// Strictly serial: run and emit one experiment at a time.
 		for _, e := range experiments {
 			start := time.Now()
+			sp := rec.Span("exp:"+e.ID, obs.CatExperiment, 0)
 			res, err := e.Run(ctx)
+			sp.End()
 			if err != nil {
 				fmt.Fprintf(stderr, "repro: %s: %v\n", e.ID, err)
 				return 1
 			}
+			reportProgress(e.ID, time.Since(start))
 			results = append(results, res)
 			if code := emitResult(stdout, stderr, e.Title, res, time.Since(start), *verbose, *out); code != 0 {
 				return code
@@ -134,6 +223,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				start := time.Now()
 				res, err := e.Run(c)
 				durs[i] = time.Since(start)
+				if err == nil {
+					reportProgress(e.ID, durs[i])
+				}
 				return res, err
 			}}
 		}
@@ -149,9 +241,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		results = rs
 	}
+	runSpan.End()
 
 	if *markdown != "" {
-		if err := writeMarkdownReport(*markdown, cfg, results); err != nil {
+		sp := rec.Span("stage:markdown", obs.CatStage, obs.AutoTID)
+		err := writeMarkdownReport(*markdown, cfg, results, timingRows(rec))
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(stderr, "repro: %v\n", err)
 			return 1
 		}
@@ -168,7 +264,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+
+	// The timing summary is the single intentionally-additive stdout
+	// block: everything above it is byte-identical with or without
+	// instrumentation, and the marker line lets tests (and scripts)
+	// strip it.
+	if rec != nil && *verbose {
+		fmt.Fprintf(stdout, "=== timing summary\n")
+		if err := report.TimingTable(timingRows(rec)).Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "repro: render timing: %v\n", err)
+			return 1
+		}
+	}
+	if metricsFile != nil {
+		if err := writeAndClose(metricsFile, rec.WriteMetricsJSONL); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote metrics to %s\n", *metricsOut)
+	}
+	if traceFile != nil {
+		if err := writeAndClose(traceFile, rec.WriteChromeTrace); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote trace to %s\n", *traceOut)
+	}
 	return 0
+}
+
+// writeAndClose runs the writer and closes the file exactly once
+// (the deferred Close of an already-closed *os.File is a harmless
+// ErrClosed), reporting the first error.
+func writeAndClose(f *os.File, write func(io.Writer) error) error {
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// timingRows converts the recorder's experiment/artifact/stage span
+// summaries into the report table's rows, in first-recorded order.
+func timingRows(rec *obs.Recorder) []report.TimingRow {
+	var rows []report.TimingRow
+	for _, s := range rec.Summarize() {
+		switch s.Cat {
+		case obs.CatExperiment, obs.CatArtifact, obs.CatStage:
+			rows = append(rows, report.TimingRow{
+				Name:       s.Name,
+				Count:      s.Count,
+				Wall:       s.Wall,
+				AllocBytes: s.AllocBytes,
+				Mallocs:    s.Mallocs,
+				GCs:        int64(s.NumGC),
+			})
+		}
+	}
+	return rows
 }
 
 // emitResult prints one experiment's tables, notes and metrics and
@@ -223,12 +377,12 @@ func sortedKeys(m map[string]float64) []string {
 // writeMarkdownReport renders every result's tables, notes and metrics
 // as one Markdown document. The file is closed exactly once and a
 // close (flush) error is reported unless a write error precedes it.
-func writeMarkdownReport(path string, cfg core.Config, results []*core.Result) error {
+func writeMarkdownReport(path string, cfg core.Config, results []*core.Result, timing []report.TimingRow) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := renderMarkdownReport(f, cfg, results)
+	werr := renderMarkdownReport(f, cfg, results, timing)
 	cerr := f.Close()
 	if werr != nil {
 		return werr
@@ -237,7 +391,7 @@ func writeMarkdownReport(path string, cfg core.Config, results []*core.Result) e
 }
 
 // renderMarkdownReport writes the report body.
-func renderMarkdownReport(f io.Writer, cfg core.Config, results []*core.Result) error {
+func renderMarkdownReport(f io.Writer, cfg core.Config, results []*core.Result, timing []report.TimingRow) error {
 	fmt.Fprintf(f, "# Reproduction report\n\n")
 	fmt.Fprintf(f, "Scale: %d machines, %.0f-day simulation, %.0f-day workload, seed %d.\n\n",
 		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
@@ -259,6 +413,13 @@ func renderMarkdownReport(f io.Writer, cfg core.Config, results []*core.Result) 
 			}
 			fmt.Fprintf(f, "\n</details>\n\n")
 		}
+	}
+	if len(timing) > 0 {
+		fmt.Fprintf(f, "## Timing\n\n")
+		if err := report.TimingTable(timing).WriteMarkdown(f); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
 	}
 	return nil
 }

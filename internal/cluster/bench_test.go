@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// benchInputs builds a small but non-trivial simulation input set once
+// per benchmark.
+func benchInputs(b *testing.B) ([]trace.Machine, []trace.Task, Config) {
+	b.Helper()
+	const n = 25
+	horizon := int64(86400)
+	s := rng.New(11)
+	machines := synth.GoogleMachines(n, s.Child("m"))
+	gcfg := synth.ScaledGoogleConfig(n, horizon)
+	tasks := synth.GenerateGoogleTasks(gcfg, s.Child("w"))
+	return machines, tasks, DefaultConfig(machines, horizon)
+}
+
+func benchSimulate(b *testing.B, reg *obs.Registry) {
+	_, tasks, cfg := benchInputs(b)
+	cfg.Metrics = reg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, tasks, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate vs BenchmarkSimulateInstrumented isolates the
+// event-loop counter/histogram overhead of cfg.Metrics.
+func BenchmarkSimulate(b *testing.B) { benchSimulate(b, nil) }
+
+func BenchmarkSimulateInstrumented(b *testing.B) {
+	benchSimulate(b, obs.NewRegistry())
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
@@ -126,6 +127,13 @@ type Config struct {
 	// EmitUsage additionally records per-task UsageSamples (expensive;
 	// intended for small traces and format round-trips).
 	EmitUsage bool
+
+	// Metrics, when non-nil, receives the run's operational counters
+	// (events dispatched, machine scans, queue-depth samples, per-type
+	// event counts). Purely observational: the simulation consumes no
+	// randomness and takes no decisions based on it, so results are
+	// byte-identical with or without a registry attached.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the calibrated simulation parameters for the
@@ -314,10 +322,29 @@ type machineState struct {
 	down     bool    // offline due to churn
 }
 
+// simMetrics caches the registry metrics the event loop touches.
+// Every field is nil when Config.Metrics is nil; the obs methods are
+// nil-safe, so the hot path carries no "is observability on?" branch.
+type simMetrics struct {
+	events     *obs.Counter   // cluster.events_dispatched
+	scans      *obs.Counter   // cluster.machine_scans (placement loop iterations)
+	queueDepth *obs.Histogram // cluster.queue_depth, sampled per dispatched event
+}
+
+func newSimMetrics(reg *obs.Registry) simMetrics {
+	return simMetrics{
+		events: reg.Counter("cluster.events_dispatched"),
+		scans:  reg.Counter("cluster.machine_scans"),
+		queueDepth: reg.Histogram("cluster.queue_depth",
+			[]float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}),
+	}
+}
+
 type sim struct {
 	cfg      Config
 	s        *rng.Stream
 	noise    *rng.Stream
+	met      simMetrics
 	machines []*machineState
 	pendingQ [trace.MaxPriority + 1][]pendingTask
 	pendingN int
@@ -356,7 +383,7 @@ func Simulate(cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
 		return nil, err
 	}
 
-	sm := &sim{cfg: cfg, s: s.Child("sim"), noise: s.Child("noise")}
+	sm := &sim{cfg: cfg, s: s.Child("sim"), noise: s.Child("noise"), met: newSimMetrics(cfg.Metrics)}
 	sm.stats.EventCounts = make(map[trace.EventType]int)
 
 	newAcc := func() *timeseries.Accumulator {
@@ -434,6 +461,7 @@ func (sm *sim) run() {
 		if e.time >= sm.cfg.Horizon {
 			break
 		}
+		sm.met.events.Add(1)
 		switch e.kind {
 		case evArrive:
 			sm.arrive(e.time, e.pend)
@@ -446,6 +474,7 @@ func (sm *sim) run() {
 			sm.machineEvs = append(sm.machineEvs, MachineEvent{Time: e.time, Machine: e.machine, Up: true})
 		}
 		sm.schedulePending(e.time)
+		sm.met.queueDepth.Observe(float64(sm.pendingN))
 	}
 	// Tasks still running at the horizon contribute usage up to the
 	// horizon; their accounting happens in finishAccounting.
@@ -502,10 +531,13 @@ func (sm *sim) place(t *trace.Task) int {
 	var bestScore float64
 	checkFrom := 0
 	n := len(sm.machines)
+	scanned := 0
+	defer func() { sm.met.scans.Add(int64(scanned)) }()
 	if sm.cfg.Placement == Random {
 		checkFrom = sm.s.IntN(n)
 	}
 	for k := 0; k < n; k++ {
+		scanned++
 		i := (checkFrom + k) % n
 		ms := sm.machines[i]
 		if ms.down || ms.m.CPU < t.MinCPUClass || ms.freeCPU < t.CPUReq || ms.freeMem < t.MemReq {
@@ -822,7 +854,26 @@ func (sm *sim) finishAccounting() {
 	}
 }
 
+// publishStats copies the run-level tallies into the configured
+// registry once, after the event loop has drained (so the registry
+// never sees a half-run snapshot).
+func (sm *sim) publishStats() {
+	reg := sm.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("cluster.tasks_submitted").Add(int64(sm.stats.TasksSubmitted))
+	reg.Counter("cluster.tasks_scheduled").Add(int64(sm.stats.Attempts))
+	reg.Counter("cluster.preemptions").Add(int64(sm.stats.Preemptions))
+	reg.Counter("cluster.never_scheduled").Add(int64(sm.stats.NeverScheduled))
+	reg.Counter("cluster.machine_failures").Add(int64(sm.stats.MachineFailures))
+	for typ, n := range sm.stats.EventCounts {
+		reg.Counter("cluster.events." + typ.String()).Add(int64(n))
+	}
+}
+
 func (sm *sim) result() *Result {
+	sm.publishStats()
 	res := &Result{
 		Config:        sm.cfg,
 		Events:        sm.out,

@@ -7,8 +7,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/synth"
@@ -103,7 +105,21 @@ type Context struct {
 	// simulate is a seam for tests that count or fail simulator
 	// invocations; production contexts always use cluster.Simulate.
 	simulate func(cluster.Config, []trace.Task, *rng.Stream) (*cluster.Result, error)
+
+	// rec, when non-nil, receives cell hit/miss counters, artifact
+	// build spans and per-experiment spans. Instrumentation is strictly
+	// additive: no artifact or metric depends on it.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder to the context. Call
+// it before any artifact is built or experiment run; a nil recorder
+// (the default) disables instrumentation at zero cost.
+func (c *Context) SetRecorder(r *obs.Recorder) { c.rec = r }
+
+// Recorder returns the attached recorder (nil when observability is
+// off; a nil recorder is safe to use).
+func (c *Context) Recorder() *obs.Recorder { return c.rec }
 
 // NewContext returns an empty context for the given configuration.
 func NewContext(cfg Config) *Context {
@@ -114,10 +130,35 @@ func NewContext(cfg Config) *Context {
 	}
 }
 
+// observedGet wraps a cell build with hit/miss accounting, a build
+// span and a build-latency gauge. The caller that runs the build
+// counts the miss; every other caller — including those that blocked
+// on the same once — consumed the memoized artifact and counts a hit.
+func observedGet[T any](c *Context, name string, cl *cell[T], build func() (T, error)) (T, error) {
+	built := false
+	v, err := cl.get(func() (T, error) {
+		built = true
+		sp := c.rec.Span("build:"+name, obs.CatArtifact, obs.AutoTID)
+		start := time.Now()
+		defer func() {
+			c.rec.Registry().Gauge("core.cell." + name + ".build_seconds").Set(time.Since(start).Seconds())
+			sp.End()
+		}()
+		return build()
+	})
+	reg := c.rec.Registry()
+	if built {
+		reg.Counter("core.cell." + name + ".miss").Add(1)
+	} else {
+		reg.Counter("core.cell." + name + ".hit").Add(1)
+	}
+	return v, err
+}
+
 // GoogleTasks returns the workload-analysis task trace (full
 // submission rate, Section III).
 func (c *Context) GoogleTasks() []trace.Task {
-	tasks, _ := c.googleTasks.get(func() ([]trace.Task, error) {
+	tasks, _ := observedGet(c, "google_tasks", &c.googleTasks, func() ([]trace.Task, error) {
 		gcfg := synth.DefaultGoogleConfig(c.Cfg.WorkloadHorizon)
 		gcfg.MaxTasksPerJob = c.Cfg.WorkloadMaxTasksPerJob
 		return synth.GenerateGoogleTasks(gcfg, rng.New(c.Cfg.Seed).Child("google-workload")), nil
@@ -127,7 +168,7 @@ func (c *Context) GoogleTasks() []trace.Task {
 
 // GoogleJobs returns the per-job summaries of GoogleTasks.
 func (c *Context) GoogleJobs() []trace.Job {
-	jobs, _ := c.googleJobs.get(func() ([]trace.Job, error) {
+	jobs, _ := observedGet(c, "google_jobs", &c.googleJobs, func() ([]trace.Job, error) {
 		return synth.GoogleJobsFromTasks(c.GoogleTasks()), nil
 	})
 	return jobs
@@ -137,12 +178,13 @@ func (c *Context) GoogleJobs() []trace.Job {
 // Section IV). A simulation error is memoized too: a broken config
 // fails every caller fast instead of re-running the whole simulation.
 func (c *Context) Sim() (*cluster.Result, error) {
-	return c.sim.get(func() (*cluster.Result, error) {
+	return observedGet(c, "sim", &c.sim, func() (*cluster.Result, error) {
 		seed := rng.New(c.Cfg.Seed)
 		machines := synth.GoogleMachines(c.Cfg.Machines, seed.Child("machines"))
 		gcfg := synth.ScaledGoogleConfig(c.Cfg.Machines, c.Cfg.SimHorizon)
 		tasks := synth.GenerateGoogleTasks(gcfg, seed.Child("google-sim"))
 		cfg := cluster.DefaultConfig(machines, c.Cfg.SimHorizon)
+		cfg.Metrics = c.rec.Registry()
 		simulate := c.simulate
 		if simulate == nil { // zero-value Context
 			simulate = cluster.Simulate
@@ -169,7 +211,7 @@ func (c *Context) GridJobs(name string) ([]trace.Job, error) {
 		c.gridJobs[name] = cl
 	}
 	c.gridMu.Unlock()
-	return cl.get(func() ([]trace.Job, error) {
+	return observedGet(c, "grid_"+name, cl, func() ([]trace.Job, error) {
 		sys, err := synth.SystemByName(name)
 		if err != nil {
 			return nil, err

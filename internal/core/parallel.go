@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -21,6 +23,33 @@ func RunAllParallel(ctx *Context, workers int) ([]*Result, error) {
 	return RunExperimentsParallel(ctx, Experiments(), workers)
 }
 
+// parRecorder adapts par worker statistics into the context recorder:
+// one Chrome-trace span per worker, the shard-size histogram, and
+// per-worker busy-time/item counters (sharded by worker index, so the
+// publish itself never contends).
+type parRecorder struct{ rec *obs.Recorder }
+
+func (p parRecorder) ObserveLoop(name string, n int, stats []par.WorkerStats) {
+	reg := p.rec.Registry()
+	shard := reg.Histogram("par.shard_items", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128})
+	busy := reg.Counter("par.worker_busy_us")
+	items := reg.Counter("par.items")
+	for _, st := range stats {
+		if st.Items == 0 {
+			continue
+		}
+		shard.Observe(float64(st.Items))
+		busy.AddShard(st.Worker, st.Busy.Microseconds())
+		items.AddShard(st.Worker, int64(st.Items))
+		p.rec.AddSpan(fmt.Sprintf("%s worker-%d", name, st.Worker), obs.CatWorker,
+			st.Worker, st.First, st.Last.Sub(st.First))
+	}
+}
+
+// queueWaitUppers buckets how long an experiment sat enqueued before a
+// worker claimed it (seconds).
+var queueWaitUppers = []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60}
+
 // RunExperimentsParallel is RunAllParallel over an explicit experiment
 // list (a -only selection, or the registry plus extensions).
 //
@@ -29,12 +58,20 @@ func RunAllParallel(ctx *Context, workers int) ([]*Result, error) {
 // experiment before that failure. With more than one worker,
 // experiments after the first failure may also have run; their
 // results are discarded so callers see the same prefix either way.
+//
+// With a recorder attached to the context, both paths record one span
+// per experiment (tid = the worker that ran it) and the parallel path
+// additionally records per-worker spans, shard sizes and queue-wait
+// samples. Instrumentation never changes scheduling or results.
 func RunExperimentsParallel(ctx *Context, exps []Experiment, workers int) ([]*Result, error) {
+	rec := ctx.Recorder()
 	w := par.Workers(workers, len(exps))
 	if w == 1 {
 		out := make([]*Result, 0, len(exps))
 		for _, e := range exps {
+			sp := rec.Span("exp:"+e.ID, obs.CatExperiment, 0)
 			r, err := e.Run(ctx)
+			sp.End()
 			if err != nil {
 				return out, fmt.Errorf("core: %s: %w", e.ID, err)
 			}
@@ -43,10 +80,24 @@ func RunExperimentsParallel(ctx *Context, exps []Experiment, workers int) ([]*Re
 		return out, nil
 	}
 
+	var (
+		observer par.Observer
+		start    time.Time
+	)
+	if rec != nil {
+		observer = parRecorder{rec: rec}
+		start = time.Now()
+	}
 	results := make([]*Result, len(exps))
 	errs := make([]error, len(exps))
-	par.ForEach(len(exps), w, func(i int) {
+	par.ForEachObserved("experiments", len(exps), w, observer, func(i, worker int) {
+		if rec != nil {
+			rec.Registry().Histogram("par.queue_wait_seconds", queueWaitUppers).
+				Observe(time.Since(start).Seconds())
+		}
+		sp := rec.Span("exp:"+exps[i].ID, obs.CatExperiment, worker)
 		r, err := exps[i].Run(ctx)
+		sp.End()
 		if err != nil {
 			errs[i] = fmt.Errorf("core: %s: %w", exps[i].ID, err)
 			return

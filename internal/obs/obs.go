@@ -1,0 +1,274 @@
+// Package obs is the reproduction's observability substrate: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms), span-based stage tracing with runtime.MemStats deltas,
+// and exporters for JSONL and the Chrome trace_event format (openable
+// in chrome://tracing and Perfetto).
+//
+// Instrumentation is strictly additive: nothing in this package draws
+// from the experiment random streams or feeds back into analysis
+// results, so a run with instrumentation enabled produces byte-identical
+// .dat/.csv/metric outputs to an uninstrumented run (enforced by
+// TestInstrumentationByteIdentical in cmd/repro).
+//
+// Every type is safe for concurrent use, and every method is safe on a
+// nil receiver: a nil *Registry hands out nil metrics whose operations
+// are no-ops, so instrumented code paths need no "is observability on?"
+// branches.
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// counterShards is the number of cache-line-padded cells a Counter
+// stripes its adds over. Power of two so the shard pick is a mask.
+const counterShards = 8
+
+// padCell is one counter shard, padded to its own cache line so
+// concurrent workers hammering different shards do not false-share.
+type padCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing (or at least add-only) named
+// value, striped over padded atomic shards for concurrent writers.
+type Counter struct {
+	name   string
+	shards [counterShards]padCell
+}
+
+// Add increments the counter. The shard is picked with the runtime's
+// per-P cheap random source, spreading concurrent writers across cache
+// lines without any coordination.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.shards[rand.Uint64()&(counterShards-1)].v.Add(delta)
+}
+
+// AddShard increments the counter on an explicit shard — the
+// contention-free fast path for callers that own a stable worker index
+// (internal/par workers pass their worker id).
+func (c *Counter) AddShard(shard int, delta int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shard&(counterShards-1)].v.Add(delta)
+}
+
+// Value sums the shards.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a named last-write-wins value.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge (CAS loop; gauges are not write-hot).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v <= Upper[i]; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	name    string
+	uppers  []float64
+	buckets []atomic.Int64 // len(uppers)+1, last = +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical observations (bulk publish from
+// single-threaded local tallies, e.g. the cluster simulator).
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the bucket upper bounds, per-bucket counts (the
+// final entry is the +Inf bucket), total count and sum.
+func (h *Histogram) Snapshot() (uppers []float64, counts []int64, count int64, sum float64) {
+	if h == nil {
+		return nil, nil, 0, 0
+	}
+	uppers = append([]float64(nil), h.uppers...)
+	counts = make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return uppers, counts, h.count.Load(), math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry names and owns a process's metrics. Metric constructors are
+// idempotent: the first call creates, later calls return the same
+// metric, so hot paths should cache the returned pointer.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the given ascending bucket
+// upper bounds, creating it on first use. Later calls ignore uppers and
+// return the existing histogram.
+func (r *Registry) Histogram(name string, uppers []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			name:    name,
+			uppers:  append([]float64(nil), uppers...),
+			buckets: make([]atomic.Int64, len(uppers)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// MetricSnapshot is one metric's frozen state, as exported to JSONL.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "counter" | "gauge" | "histogram"
+
+	// Counter / gauge.
+	Value float64 `json:"value,omitempty"`
+
+	// Histogram: Le[i] pairs with Counts[i]; the final Counts entry is
+	// the +Inf bucket.
+	Le     []float64 `json:"le,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+}
+
+// Snapshot freezes every metric, sorted by (type, name) so exports are
+// stable run-to-run.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, MetricSnapshot{Name: name, Type: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricSnapshot{Name: name, Type: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		le, counts, count, sum := h.Snapshot()
+		out = append(out, MetricSnapshot{
+			Name: name, Type: "histogram",
+			Le: le, Counts: counts, Count: count, Sum: sum,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span categories used by the pipeline. Exported so consumers filter
+// span records without string literals scattering.
+const (
+	CatExperiment = "experiment" // one paper artifact regenerated
+	CatArtifact   = "artifact"   // one memoized Context cell built
+	CatWorker     = "worker"     // one par worker's busy interval
+	CatStage      = "stage"      // a coarse pipeline stage (emit, report, ...)
+)
+
+// AutoTID asks the recorder to assign the span its own fresh trace
+// lane, for work not pinned to a worker (artifact builds).
+const AutoTID = -1
+
+// SpanRecord is one finished span: what ran, where (trace lane), when
+// (relative to the recorder's epoch), and what it cost. The MemStats
+// deltas are process-wide (runtime.ReadMemStats), so concurrent spans
+// each see the whole process's allocation traffic; they are intended as
+// a per-stage cost profile, not an exact attribution.
+type SpanRecord struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	TID  int    `json:"tid"`
+
+	StartUS int64 `json:"start_us"` // µs since the recorder's epoch
+	DurUS   int64 `json:"dur_us"`
+
+	AllocBytes int64  `json:"alloc_bytes"` // MemStats.TotalAlloc delta
+	Mallocs    int64  `json:"mallocs"`     // MemStats.Mallocs delta
+	NumGC      uint32 `json:"num_gc"`      // MemStats.NumGC delta
+}
+
+// Recorder collects spans and owns the run's metrics registry. The
+// zero of *Recorder (nil) is a valid "observability off" recorder:
+// every method no-ops and Span returns a nil (no-op) span.
+type Recorder struct {
+	epoch    time.Time
+	registry *Registry
+
+	mu    sync.Mutex
+	spans []SpanRecord
+
+	nextAuto atomic.Int64 // next AutoTID lane
+}
+
+// NewRecorder returns a recorder whose epoch is now, with a fresh
+// registry attached.
+func NewRecorder() *Recorder {
+	r := &Recorder{epoch: time.Now(), registry: NewRegistry()}
+	r.nextAuto.Store(autoTIDBase)
+	return r
+}
+
+// autoTIDBase keeps auto-assigned lanes clear of worker indices.
+const autoTIDBase = 100
+
+// Registry returns the recorder's metrics registry (nil for a nil
+// recorder, which is itself a valid no-op registry receiver).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.registry
+}
+
+// Span is an in-flight measurement started by Recorder.Span. End it
+// exactly once; a nil span ends as a no-op.
+type Span struct {
+	rec   *Recorder
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+	m0    runtime.MemStats
+}
+
+// Span starts a span. tid selects the Chrome-trace lane: par workers
+// pass their worker index, AutoTID allocates a dedicated lane.
+func (r *Recorder) Span(name, cat string, tid int) *Span {
+	if r == nil {
+		return nil
+	}
+	if tid == AutoTID {
+		tid = int(r.nextAuto.Add(1))
+	}
+	s := &Span{rec: r, name: name, cat: cat, tid: tid, start: time.Now()}
+	runtime.ReadMemStats(&s.m0)
+	return s
+}
+
+// End finishes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	end := time.Now()
+	s.rec.addRecord(SpanRecord{
+		Name:       s.name,
+		Cat:        s.cat,
+		TID:        s.tid,
+		StartUS:    s.start.Sub(s.rec.epoch).Microseconds(),
+		DurUS:      end.Sub(s.start).Microseconds(),
+		AllocBytes: int64(m1.TotalAlloc - s.m0.TotalAlloc),
+		Mallocs:    int64(m1.Mallocs - s.m0.Mallocs),
+		NumGC:      m1.NumGC - s.m0.NumGC,
+	})
+}
+
+// AddSpan records an already-measured interval (used by the par
+// observer, whose worker intervals are timed inside the loop itself).
+// No MemStats are attributed to such spans.
+func (r *Recorder) AddSpan(name, cat string, tid int, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.addRecord(SpanRecord{
+		Name:    name,
+		Cat:     cat,
+		TID:     tid,
+		StartUS: start.Sub(r.epoch).Microseconds(),
+		DurUS:   dur.Microseconds(),
+	})
+}
+
+func (r *Recorder) addRecord(rec SpanRecord) {
+	r.mu.Lock()
+	r.spans = append(r.spans, rec)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of every finished span in recording order.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// SpanSummary aggregates the spans sharing one name.
+type SpanSummary struct {
+	Name       string
+	Cat        string
+	Count      int
+	Wall       time.Duration
+	AllocBytes int64
+	Mallocs    int64
+	NumGC      uint32
+}
+
+// Summarize groups spans by name (first-seen order preserved) and sums
+// wall time and allocation deltas — the rows of the CLI timing table.
+func (r *Recorder) Summarize() []SpanSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	index := make(map[string]int)
+	var out []SpanSummary
+	for _, sp := range r.spans {
+		i, ok := index[sp.Name]
+		if !ok {
+			i = len(out)
+			index[sp.Name] = i
+			out = append(out, SpanSummary{Name: sp.Name, Cat: sp.Cat})
+		}
+		out[i].Count++
+		out[i].Wall += time.Duration(sp.DurUS) * time.Microsecond
+		out[i].AllocBytes += sp.AllocBytes
+		out[i].Mallocs += sp.Mallocs
+		out[i].NumGC += sp.NumGC
+	}
+	return out
+}

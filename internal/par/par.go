@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers normalises a requested worker count: values <= 0 mean
@@ -32,6 +33,25 @@ func Workers(requested, n int) int {
 	return w
 }
 
+// WorkerStats summarises one worker's share of an observed loop:
+// how many indices it claimed (its shard size), how long it spent
+// inside fn (busy time), and the absolute interval it was active over
+// (First..Last), from which queue wait and imbalance fall out.
+type WorkerStats struct {
+	Worker int
+	Items  int
+	Busy   time.Duration
+	First  time.Time // when the worker started its first item
+	Last   time.Time // when the worker finished its last item
+}
+
+// Observer receives one callback per observed loop after every worker
+// drains. Implementations must not retain the stats slice. Observing
+// is strictly additive: it never changes which worker runs which index.
+type Observer interface {
+	ObserveLoop(name string, n int, stats []WorkerStats)
+}
+
 // ForEach runs fn(i) for every i in [0, n) using up to workers
 // goroutines (workers <= 0 means GOMAXPROCS). Each index is executed
 // exactly once. With one worker (or n <= 1) the loop runs inline on
@@ -39,14 +59,33 @@ func Workers(requested, n int) int {
 // A panic in any fn is re-raised on the calling goroutine after the
 // remaining workers drain, matching serial panic semantics.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachObserved("", n, workers, nil, func(i, _ int) { fn(i) })
+}
+
+// ForEachObserved is ForEach with two observability extras: fn also
+// receives the claiming worker's index in [0, Workers(workers, n)),
+// and a non-nil Observer is handed per-worker busy/shard statistics
+// when the loop completes. With a nil Observer no clocks are read, so
+// ForEach pays nothing for the seam.
+func ForEachObserved(name string, n, workers int, obs Observer, fn func(i, worker int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers(workers, n)
 	if w == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+		if obs == nil {
+			for i := 0; i < n; i++ {
+				fn(i, 0)
+			}
+			return
 		}
+		st := WorkerStats{Worker: 0, Items: n, First: time.Now()}
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		st.Last = time.Now()
+		st.Busy = st.Last.Sub(st.First)
+		obs.ObserveLoop(name, n, []WorkerStats{st})
 		return
 	}
 
@@ -55,8 +94,12 @@ func ForEach(n, workers int, fn func(i int)) {
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicked any
+		stats    []WorkerStats
 	)
-	for range w {
+	if obs != nil {
+		stats = make([]WorkerStats, w)
+	}
+	for k := range w {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -74,13 +117,29 @@ func ForEach(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				if obs == nil {
+					fn(i, k)
+					continue
+				}
+				st := &stats[k]
+				start := time.Now()
+				if st.Items == 0 {
+					st.Worker = k
+					st.First = start
+				}
+				fn(i, k)
+				st.Last = time.Now()
+				st.Busy += st.Last.Sub(start)
+				st.Items++
 			}
 		}()
 	}
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
+	}
+	if obs != nil {
+		obs.ObserveLoop(name, n, stats)
 	}
 }
 

@@ -51,6 +51,65 @@ func TestMapOrdersResults(t *testing.T) {
 	}
 }
 
+// loopObserver captures the single ObserveLoop callback of one loop.
+type loopObserver struct {
+	name  string
+	n     int
+	stats []WorkerStats
+	calls int
+}
+
+func (o *loopObserver) ObserveLoop(name string, n int, stats []WorkerStats) {
+	o.name, o.n, o.calls = name, n, o.calls+1
+	o.stats = append([]WorkerStats(nil), stats...)
+}
+
+func TestForEachObservedStats(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 64
+		obs := &loopObserver{}
+		var seen [n]atomic.Int32
+		maxWorker := Workers(workers, n)
+		ForEachObserved("scan", n, workers, obs, func(i, worker int) {
+			if worker < 0 || worker >= maxWorker {
+				t.Errorf("worker index %d outside [0, %d)", worker, maxWorker)
+			}
+			seen[i].Add(1)
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+		if obs.calls != 1 {
+			t.Fatalf("workers=%d: ObserveLoop called %d times, want 1", workers, obs.calls)
+		}
+		if obs.name != "scan" || obs.n != n {
+			t.Fatalf("workers=%d: observed (%q, %d), want (scan, %d)", workers, obs.name, obs.n, n)
+		}
+		var items int
+		for _, st := range obs.stats {
+			items += st.Items
+			if st.Items > 0 && (st.Busy < 0 || st.Last.Before(st.First)) {
+				t.Fatalf("workers=%d: implausible stats %+v", workers, st)
+			}
+		}
+		if items != n {
+			t.Fatalf("workers=%d: shard sizes sum to %d, want %d", workers, items, n)
+		}
+	}
+}
+
+// TestForEachObservedNilObserver: the nil-observer path must behave
+// exactly like ForEach (it IS ForEach).
+func TestForEachObservedNilObserver(t *testing.T) {
+	var count atomic.Int32
+	ForEachObserved("", 50, 4, nil, func(i, worker int) { count.Add(1) })
+	if got := count.Load(); got != 50 {
+		t.Fatalf("ran %d times, want 50", got)
+	}
+}
+
 func TestWorkersBounds(t *testing.T) {
 	if got := Workers(0, 1000); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
