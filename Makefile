@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify repro-quick check bench-json
+.PHONY: build test race bench verify repro-quick check bench-json chaos
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,20 @@ bench-parallel:
 
 verify: test race
 
-# Full hygiene gate: formatting, vet, the race detector, and the
-# instrumentation-never-changes-outputs invariant.
-check:
+# Chaos suite: deterministic fault injection end to end. The headline
+# invariant is that a chaos run under -keep-going emits byte-identical
+# artifacts for every experiment the fault did not touch, plus the
+# signal-handling, retry, and checkpoint-resume contracts.
+chaos:
+	$(GO) test -run 'TestChaos|TestCLIChaos|TestSIG|TestBuildRetry|TestBuildFails|TestCLICheckpoint|TestCheckpointResume' \
+		./cmd/repro ./internal/core
+	$(GO) test ./internal/fault ./internal/ckpt
+	$(GO) test -run 'TestSimulateCtx|TestSimulateFaultSite|TestPanicStops|TestForEachCtx' \
+		./internal/cluster ./internal/par
+
+# Full hygiene gate: formatting, vet, the race detector, the
+# instrumentation-never-changes-outputs invariant, and the chaos suite.
+check: chaos
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
@@ -33,14 +44,16 @@ check:
 	$(GO) test -run 'TestInstrumentationByteIdentical|TestInstrumentationDoesNotChangeResults' \
 		./cmd/repro ./internal/core
 
-# Machine-readable benchmark snapshot: the pipeline benches plus the
-# simulator and observability micro-benches, as JSON.
+# Machine-readable benchmark snapshot: the pipeline benches (including
+# the resilient-runner overhead and warm checkpoint-resume pair) plus
+# the simulator, observability, and checkpoint micro-benches, as JSON.
 bench-json:
-	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel|ParallelInstrumented)$$' -benchmem -run=^$$ . > /tmp/bench_root.txt
+	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel|ParallelInstrumented|ParallelResilient|CheckpointWarm)$$' -benchmem -run=^$$ . > /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/cluster >> /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs >> /tmp/bench_root.txt
-	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > BENCH_pr2.json
-	@echo wrote BENCH_pr2.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/ckpt >> /tmp/bench_root.txt
+	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+	@echo wrote BENCH_pr3.json
 
 repro-quick:
 	$(GO) run ./cmd/repro -scale quick

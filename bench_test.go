@@ -6,9 +6,12 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gridsim"
@@ -146,6 +149,53 @@ func benchRunAll(b *testing.B, workers int) {
 
 func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
 func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
+// BenchmarkRunAllParallelResilient is BenchmarkRunAllParallel with
+// every robustness feature armed (per-experiment deadline, keep-going
+// degradation) but nothing failing — the delta between the two is the
+// fault-tolerance overhead on a healthy run (budget: <5%).
+func BenchmarkRunAllParallelResilient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := core.NewContext(core.QuickConfig())
+		results, err := core.RunExperiments(context.Background(), ctx, core.Experiments(), core.RunOptions{
+			Workers:    0,
+			ExpTimeout: time.Hour,
+			KeepGoing:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(core.Experiments()) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
+
+// BenchmarkRunAllCheckpointWarm measures a fully warm resume: every
+// experiment is served from its checkpoint, so the iteration cost is
+// pure load/verify — the ratio to BenchmarkRunAllParallel is the
+// warm-start speedup an interrupted run gets back.
+func BenchmarkRunAllCheckpointWarm(b *testing.B) {
+	store, err := ckpt.NewStore(b.TempDir(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := core.NewContext(core.QuickConfig())
+	if _, err := core.RunExperiments(context.Background(), cold, core.Experiments(), core.RunOptions{Workers: 0, Ckpt: store}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := core.NewContext(core.QuickConfig())
+		results, err := core.RunExperiments(context.Background(), ctx, core.Experiments(), core.RunOptions{Workers: 0, Ckpt: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(core.Experiments()) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
 
 // BenchmarkRunAllParallelInstrumented is BenchmarkRunAllParallel with a
 // full observability recorder attached — the delta between the two is

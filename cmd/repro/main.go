@@ -7,7 +7,8 @@
 //	repro [-scale quick|full] [-only fig3,table1] [-out dir] [-check]
 //	      [-seed n] [-machines n] [-sim-days n] [-workload-days n]
 //	      [-parallel n] [-metrics-out file] [-trace-out file]
-//	      [-pprof addr] [-progress]
+//	      [-pprof addr] [-progress] [-exp-timeout d] [-keep-going]
+//	      [-checkpoint-dir dir]
 //
 // Tables print to stdout; with -out, every figure's data series is
 // written as a gnuplot-ready .dat file and every table as .csv. With
@@ -20,6 +21,14 @@
 // (seed, label)-derived random streams. -parallel 1 runs strictly
 // serially.
 //
+// Robustness: -exp-timeout bounds each experiment's wall time;
+// -keep-going annotates failed experiments "FAILED: <cause>" (exit
+// code 3) instead of aborting the run; -checkpoint-dir persists each
+// finished experiment so an interrupted run resumed with the same
+// directory rebuilds only the missing artifacts. SIGINT/SIGTERM cancel
+// the run cooperatively, flush -metrics-out/-trace-out, and exit with
+// 128+signum (130 for SIGINT).
+//
 // Observability (-metrics-out, -trace-out, -pprof, -progress) is
 // strictly additive: .dat/.csv files, metric values and all stdout up
 // to the optional trailing timing summary are byte-identical with
@@ -30,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,11 +47,15 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -50,6 +64,10 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// exitKeepGoingFailures is the exit code when -keep-going finished the
+// run but one or more experiments failed and were annotated.
+const exitKeepGoingFailures = 3
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
@@ -72,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut     = fs.String("trace-out", "", "write a Chrome trace_event file to this file")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		progress     = fs.Bool("progress", false, "print per-experiment completion progress to stderr")
+		expTimeout   = fs.Duration("exp-timeout", 0, "per-experiment deadline (0 = none)")
+		keepGoing    = fs.Bool("keep-going", false, "annotate failed experiments instead of aborting the run")
+		ckptDir      = fs.String("checkpoint-dir", "", "persist finished experiments here and resume from them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,6 +144,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		cfg.WorkloadHorizon = int64(*workloadDays) * 86400
 	}
+	if *expTimeout < 0 {
+		fmt.Fprintf(stderr, "repro: -exp-timeout must be non-negative, got %v\n", *expTimeout)
+		return 2
+	}
 
 	// Open observability outputs up front so a bad path fails before
 	// the (potentially minutes-long) run, not after it.
@@ -146,6 +171,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer traceFile.Close()
 		}
 	}
+	var store *ckpt.Store
+	if *ckptDir != "" {
+		var err error
+		if store, err = ckpt.NewStore(*ckptDir, rec.Registry()); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+	}
 	if *pprofAddr != "" {
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
@@ -157,13 +190,102 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go http.Serve(ln, nil) //nolint — DefaultServeMux carries the pprof handlers
 	}
 
+	// Interrupt handling: the first SIGINT/SIGTERM cancels the root
+	// context so experiments (and the simulator event loop) stop at
+	// their next cancellation poll; finished checkpoints are already on
+	// disk, and the flush below still writes -metrics-out/-trace-out
+	// before the process exits with 128+signum.
+	rootCtx, cancelRoot := context.WithCancelCause(context.Background())
+	defer cancelRoot(nil)
+	var gotSignal atomic.Value
+	sigCh := make(chan os.Signal, 2)
+	sigDone := make(chan struct{})
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigCh)
+		close(sigDone)
+	}()
+	go func() {
+		select {
+		case s := <-sigCh:
+			gotSignal.Store(s)
+			fmt.Fprintf(stderr, "repro: received %v, cancelling (checkpoints already on disk)\n", s)
+			cancelRoot(fmt.Errorf("interrupted by %v", s))
+		case <-sigDone:
+		}
+	}()
+
+	code := runExperiments(rootCtx, cfg, runParams{
+		stdout: stdout, stderr: stderr,
+		rec: rec, store: store,
+		only: *only, extensions: *extensions,
+		parallel: *parallel, expTimeout: *expTimeout, keepGoing: *keepGoing,
+		verbose: *verbose, check: *check, progress: *progress,
+		out: *out, markdown: *markdown,
+	})
+
+	// Flush observability on every exit path — including failures and
+	// interrupts — so no buffer is lost.
+	if metricsFile != nil {
+		if err := writeAndClose(metricsFile, rec.WriteMetricsJSONL); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(stderr, "wrote metrics to %s\n", *metricsOut)
+		}
+	}
+	if traceFile != nil {
+		if err := writeAndClose(traceFile, rec.WriteChromeTrace); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(stderr, "wrote trace to %s\n", *traceOut)
+		}
+	}
+	if s, ok := gotSignal.Load().(os.Signal); ok {
+		if num, ok := s.(syscall.Signal); ok {
+			return 128 + int(num)
+		}
+		return 130
+	}
+	return code
+}
+
+// runParams carries the post-parse options of one invocation.
+type runParams struct {
+	stdout, stderr io.Writer
+	rec            *obs.Recorder
+	store          *ckpt.Store
+	only           string
+	extensions     bool
+	parallel       int
+	expTimeout     time.Duration
+	keepGoing      bool
+	verbose        bool
+	check          bool
+	progress       bool
+	out            string
+	markdown       string
+}
+
+// runExperiments is the body of a run between flag parsing and the
+// final observability flush: select experiments, run them through the
+// fault-tolerant runner, emit results in registry order, then the
+// optional markdown/check/timing stages.
+func runExperiments(rootCtx context.Context, cfg core.Config, p runParams) int {
+	stdout, stderr, rec := p.stdout, p.stderr, p.rec
+
 	experiments := core.Experiments()
-	if *extensions {
+	if p.extensions {
 		experiments = append(experiments, core.Extensions()...)
 	}
-	if *only != "" {
+	if p.only != "" {
 		var selected []core.Experiment
-		for _, id := range strings.Split(*only, ",") {
+		for _, id := range strings.Split(p.only, ",") {
 			e, err := core.FindAny(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintf(stderr, "repro: %v\n", err)
@@ -184,7 +306,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var progressMu sync.Mutex
 	var progressDone int
 	reportProgress := func(id string, elapsed time.Duration) {
-		if !*progress {
+		if !p.progress {
 			return
 		}
 		progressMu.Lock()
@@ -193,75 +315,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progressMu.Unlock()
 	}
 
+	// Wrap each experiment to record its own wall time; results are
+	// emitted in registry order after the pool drains, and the
+	// per-label child streams keep the output byte-identical at every
+	// worker count.
 	runSpan := rec.Span("stage:experiments", obs.CatStage, obs.AutoTID)
-	var results []*core.Result
-	if *parallel == 1 {
-		// Strictly serial: run and emit one experiment at a time.
-		for _, e := range experiments {
+	durs := make([]time.Duration, len(experiments))
+	timed := make([]core.Experiment, len(experiments))
+	for i, e := range experiments {
+		timed[i] = core.Experiment{ID: e.ID, Title: e.Title, Run: func(c *core.Context) (*core.Result, error) {
 			start := time.Now()
-			sp := rec.Span("exp:"+e.ID, obs.CatExperiment, 0)
-			res, err := e.Run(ctx)
-			sp.End()
-			if err != nil {
-				fmt.Fprintf(stderr, "repro: %s: %v\n", e.ID, err)
-				return 1
+			res, err := e.Run(c)
+			durs[i] = time.Since(start)
+			if err == nil {
+				reportProgress(e.ID, durs[i])
 			}
-			reportProgress(e.ID, time.Since(start))
-			results = append(results, res)
-			if code := emitResult(stdout, stderr, e.Title, res, time.Since(start), *verbose, *out); code != 0 {
-				return code
-			}
-		}
-	} else {
-		// Fan out over the worker pool, recording each experiment's own
-		// wall time, then emit in registry order. The per-label child
-		// streams make the output byte-identical to the serial path.
-		durs := make([]time.Duration, len(experiments))
-		timed := make([]core.Experiment, len(experiments))
-		for i, e := range experiments {
-			timed[i] = core.Experiment{ID: e.ID, Title: e.Title, Run: func(c *core.Context) (*core.Result, error) {
-				start := time.Now()
-				res, err := e.Run(c)
-				durs[i] = time.Since(start)
-				if err == nil {
-					reportProgress(e.ID, durs[i])
-				}
-				return res, err
-			}}
-		}
-		rs, err := core.RunExperimentsParallel(ctx, timed, *parallel)
-		for i, res := range rs {
-			if code := emitResult(stdout, stderr, experiments[i].Title, res, durs[i], *verbose, *out); code != 0 {
-				return code
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(stderr, "repro: %v\n", err)
-			return 1
-		}
-		results = rs
+			return res, err
+		}}
 	}
+	results, err := core.RunExperiments(rootCtx, ctx, timed, core.RunOptions{
+		Workers:    p.parallel,
+		ExpTimeout: p.expTimeout,
+		KeepGoing:  p.keepGoing,
+		Ckpt:       p.store,
+	})
 	runSpan.End()
-
-	if *markdown != "" {
-		sp := rec.Span("stage:markdown", obs.CatStage, obs.AutoTID)
-		err := writeMarkdownReport(*markdown, cfg, results, timingRows(rec))
-		sp.End()
-		if err != nil {
-			fmt.Fprintf(stderr, "repro: %v\n", err)
-			return 1
+	failed := 0
+	for i, res := range results {
+		if res.Failed() {
+			failed++
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *markdown)
+		if code := emitResult(stdout, stderr, experiments[i].Title, res, durs[i], p.verbose, p.out); code != 0 {
+			return code
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "repro: %v\n", err)
+		return 1
 	}
 
-	if *check {
+	if p.markdown != "" {
+		sp := rec.Span("stage:markdown", obs.CatStage, obs.AutoTID)
+		mdErr := writeMarkdownReport(p.markdown, cfg, results, timingRows(rec))
+		sp.End()
+		if mdErr != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", mdErr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", p.markdown)
+	}
+
+	code := 0
+	if failed > 0 {
+		fmt.Fprintf(stderr, "repro: %d of %d experiments FAILED (kept going)\n", failed, len(results))
+		code = exitKeepGoingFailures
+	}
+
+	if p.check {
 		crs := core.Check(results)
 		if err := core.RenderChecks(stdout, crs); err != nil {
 			fmt.Fprintf(stderr, "repro: %v\n", err)
 			return 1
 		}
-		if pass, total := core.Passed(crs); pass < total {
-			return 1
+		if pass, total := core.Passed(crs); pass < total && code == 0 {
+			code = 1
 		}
 	}
 
@@ -269,28 +386,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// block: everything above it is byte-identical with or without
 	// instrumentation, and the marker line lets tests (and scripts)
 	// strip it.
-	if rec != nil && *verbose {
+	if rec != nil && p.verbose {
 		fmt.Fprintf(stdout, "=== timing summary\n")
 		if err := report.TimingTable(timingRows(rec)).Render(stdout); err != nil {
 			fmt.Fprintf(stderr, "repro: render timing: %v\n", err)
 			return 1
 		}
 	}
-	if metricsFile != nil {
-		if err := writeAndClose(metricsFile, rec.WriteMetricsJSONL); err != nil {
-			fmt.Fprintf(stderr, "repro: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "wrote metrics to %s\n", *metricsOut)
-	}
-	if traceFile != nil {
-		if err := writeAndClose(traceFile, rec.WriteChromeTrace); err != nil {
-			fmt.Fprintf(stderr, "repro: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "wrote trace to %s\n", *traceOut)
-	}
-	return 0
+	return code
 }
 
 // writeAndClose runs the writer and closes the file exactly once
@@ -327,9 +430,14 @@ func timingRows(rec *obs.Recorder) []report.TimingRow {
 
 // emitResult prints one experiment's tables, notes and metrics and
 // saves its data files. Metric keys are sorted so verbose output is
-// stable run-to-run. Returns the process exit code (0 on success).
+// stable run-to-run. A keep-going failure placeholder prints its cause
+// and writes nothing. Returns the process exit code (0 on success).
 func emitResult(stdout, stderr io.Writer, title string, res *core.Result, elapsed time.Duration, verbose bool, outDir string) int {
 	fmt.Fprintf(stdout, "=== %s (%.1fs)\n", title, elapsed.Seconds())
+	if res.Failed() {
+		fmt.Fprintf(stdout, "  FAILED: %s\n\n", res.Err)
+		return 0
+	}
 	for _, tbl := range res.Tables {
 		if err := tbl.Render(stdout); err != nil {
 			fmt.Fprintf(stderr, "repro: render: %v\n", err)
@@ -397,6 +505,10 @@ func renderMarkdownReport(f io.Writer, cfg core.Config, results []*core.Result, 
 		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
 	for _, r := range results {
 		fmt.Fprintf(f, "## %s — %s\n\n", r.ID, r.Title)
+		if r.Failed() {
+			fmt.Fprintf(f, "**FAILED:** %s\n\n", r.Err)
+			continue
+		}
 		for _, tbl := range r.Tables {
 			if err := tbl.WriteMarkdown(f); err != nil {
 				return err

@@ -1,0 +1,200 @@
+// Package ckpt provides content-addressed on-disk checkpointing of
+// experiment artifacts so an interrupted run can resume rebuilding
+// only what is missing.
+//
+// Keys are SHA-256 digests of everything that determines an artifact's
+// bytes (schema version, experiment ID, full config), so a config or
+// code-schema change silently misses instead of serving stale results.
+// Files carry a versioned header plus a CRC32 of the payload and are
+// written via temp-file + atomic rename, so a crash mid-write leaves
+// either the old file or no file — never a torn one. Corrupt, truncated
+// or version-mismatched files are treated as cache misses and deleted,
+// then rebuilt by the caller.
+package ckpt
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Version is the checkpoint file-format version. Bumping it
+// invalidates every existing checkpoint file.
+const Version = 1
+
+// header is the first line of every checkpoint file:
+//
+//	ckptv<version> <crc32-hex> <payload-len>\n
+//
+// followed by exactly payload-len bytes of JSON.
+func header(crc uint32, n int) string {
+	return fmt.Sprintf("ckptv%d %08x %d\n", Version, crc, n)
+}
+
+// Key derives a content address from the parts that determine an
+// artifact. Any change to any part yields a different key.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") != ("a","bc").
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store is a directory of checkpoint files, one per key. The zero
+// Store (or a nil *Store) is disabled: Load always misses and Save is
+// a no-op, so callers don't need to branch on "checkpointing off".
+type Store struct {
+	dir string
+	reg *obs.Registry // nil-safe, may be nil
+}
+
+// NewStore opens (creating if needed) a checkpoint directory. reg may
+// be nil; when set, the store maintains ckpt.hit / ckpt.miss /
+// ckpt.corrupt / ckpt.store / ckpt.skip counters.
+func NewStore(dir string, reg *obs.Registry) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create dir: %w", err)
+	}
+	return &Store{dir: dir, reg: reg}, nil
+}
+
+// Enabled reports whether the store actually persists anything.
+func (s *Store) Enabled() bool { return s != nil && s.dir != "" }
+
+// Dir returns the backing directory ("" when disabled).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+func (s *Store) count(name string) {
+	if s != nil && s.reg != nil {
+		s.reg.Counter("ckpt." + name).Add(1)
+	}
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".ckpt")
+}
+
+// Save marshals v as JSON and atomically writes it under key.
+// Values that cannot be marshalled (NaN/Inf metrics, say) are skipped
+// with an error rather than producing a torn file; the caller treats
+// that as "not checkpointed", never as fatal.
+func (s *Store) Save(key string, v any) error {
+	if !s.Enabled() {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		s.count("skip")
+		return fmt.Errorf("ckpt: marshal %s: %w", key, err)
+	}
+	crc := crc32.ChecksumIEEE(payload)
+	tmp, err := os.CreateTemp(s.dir, "tmp-*.ckpt")
+	if err != nil {
+		s.count("skip")
+		return fmt.Errorf("ckpt: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := io.WriteString(tmp, header(crc, len(payload))); err != nil {
+		cleanup()
+		s.count("skip")
+		return fmt.Errorf("ckpt: write header: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		cleanup()
+		s.count("skip")
+		return fmt.Errorf("ckpt: write payload: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		s.count("skip")
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(key)); err != nil {
+		os.Remove(tmpName)
+		s.count("skip")
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	s.count("store")
+	return nil
+}
+
+// Load looks up key and, on a hit, unmarshals the payload into v.
+// ok=false with err=nil is a plain miss; ok=false with non-nil err
+// means a file existed but was rejected (wrong version, truncated,
+// CRC mismatch, bad JSON) and has been removed so the caller rebuilds.
+func (s *Store) Load(key string, v any) (ok bool, err error) {
+	if !s.Enabled() {
+		return false, nil
+	}
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.count("miss")
+			return false, nil
+		}
+		s.count("corrupt")
+		return false, fmt.Errorf("ckpt: open %s: %w", key, err)
+	}
+	defer f.Close()
+
+	reject := func(cause string) (bool, error) {
+		s.count("corrupt")
+		os.Remove(s.path(key))
+		return false, fmt.Errorf("ckpt: %s: %s (rebuilding)", key, cause)
+	}
+
+	br := bufio.NewReader(f)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return reject("unreadable header")
+	}
+	var ver int
+	var crc uint32
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(line, "\n"), "ckptv%d %x %d", &ver, &crc, &n); err != nil {
+		return reject("malformed header")
+	}
+	if ver != Version {
+		return reject(fmt.Sprintf("version %d, want %d", ver, Version))
+	}
+	if n < 0 {
+		return reject("negative payload length")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return reject("truncated payload")
+	}
+	// Any trailing garbage also means the file is not what we wrote.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return reject("trailing bytes")
+	}
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return reject(fmt.Sprintf("crc %08x, want %08x", got, crc))
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return reject("payload not valid JSON")
+	}
+	s.count("hit")
+	return true, nil
+}

@@ -1,0 +1,242 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type payload struct {
+	Name    string
+	Values  []float64
+	Metrics map[string]float64
+}
+
+func testStore(t *testing.T) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := NewStore(t.TempDir(), reg)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s, reg
+}
+
+func counter(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+func TestKeyDistinguishesPartBoundaries(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal(`Key("ab","c") == Key("a","bc")`)
+	}
+	if Key("a") != Key("a") {
+		t.Fatal("Key not deterministic")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, reg := testStore(t)
+	in := payload{
+		Name:    "fig7",
+		Values:  []float64{1.5, 2.25, -0.125},
+		Metrics: map[string]float64{"mean": 3.5},
+	}
+	key := Key("v1", "fig7", "cfg")
+	if err := s.Save(key, in); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var out payload
+	ok, err := s.Load(key, &out)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if out.Name != in.Name || len(out.Values) != len(in.Values) ||
+		out.Values[2] != in.Values[2] || out.Metrics["mean"] != in.Metrics["mean"] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if got := counter(reg, "ckpt.store"); got != 1 {
+		t.Fatalf("ckpt.store = %d, want 1", got)
+	}
+	if got := counter(reg, "ckpt.hit"); got != 1 {
+		t.Fatalf("ckpt.hit = %d, want 1", got)
+	}
+}
+
+func TestMissOnAbsentKey(t *testing.T) {
+	s, reg := testStore(t)
+	var out payload
+	ok, err := s.Load(Key("nope"), &out)
+	if ok || err != nil {
+		t.Fatalf("Load absent: ok=%v err=%v", ok, err)
+	}
+	if got := counter(reg, "ckpt.miss"); got != 1 {
+		t.Fatalf("ckpt.miss = %d, want 1", got)
+	}
+}
+
+func ckptFile(t *testing.T, s *Store) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), "*.ckpt"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob: %v (%d matches)", err, len(matches))
+	}
+	return matches[0]
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	s, reg := testStore(t)
+	key := Key("trunc")
+	if err := s.Save(key, payload{Name: "x", Values: []float64{1, 2, 3}}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := ckptFile(t, s)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Load(key, &out)
+	if ok {
+		t.Fatal("truncated file loaded as ok")
+	}
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncation rejection", err)
+	}
+	if got := counter(reg, "ckpt.corrupt"); got != 1 {
+		t.Fatalf("ckpt.corrupt = %d, want 1", got)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatal("corrupt file not removed")
+	}
+}
+
+func TestBitFlipRejected(t *testing.T) {
+	s, reg := testStore(t)
+	key := Key("flip")
+	if err := s.Save(key, payload{Name: "y", Values: []float64{9, 8, 7}}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := ckptFile(t, s)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40 // flip a bit inside the JSON payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Load(key, &out)
+	if ok {
+		t.Fatal("bit-flipped file loaded as ok")
+	}
+	if err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Fatalf("err = %v, want crc rejection", err)
+	}
+	if got := counter(reg, "ckpt.corrupt"); got != 1 {
+		t.Fatalf("ckpt.corrupt = %d, want 1", got)
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	s, _ := testStore(t)
+	key := Key("ver")
+	if err := s.Save(key, payload{Name: "z"}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := ckptFile(t, s)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header as if written by a future format version.
+	text := strings.Replace(string(data), "ckptv1 ", "ckptv2 ", 1)
+	if text == string(data) {
+		t.Fatal("header did not contain ckptv1")
+	}
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Load(key, &out)
+	if ok {
+		t.Fatal("version-bumped file loaded as ok")
+	}
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version rejection", err)
+	}
+	// The bad file was removed, so the next Load is a clean miss.
+	ok, err = s.Load(key, &out)
+	if ok || err != nil {
+		t.Fatalf("second Load: ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
+func TestNonMarshalableSkipped(t *testing.T) {
+	s, reg := testStore(t)
+	bad := map[string]float64{"nan": nan()}
+	err := s.Save(Key("bad"), bad)
+	if err == nil {
+		t.Fatal("Save of NaN payload succeeded, want marshal error")
+	}
+	if got := counter(reg, "ckpt.skip"); got != 1 {
+		t.Fatalf("ckpt.skip = %d, want 1", got)
+	}
+	var out map[string]float64
+	ok, loadErr := s.Load(Key("bad"), &out)
+	if ok || loadErr != nil {
+		t.Fatalf("Load after skipped save: ok=%v err=%v", ok, loadErr)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestDisabledStoreIsNoop(t *testing.T) {
+	var s *Store
+	if s.Enabled() {
+		t.Fatal("nil store Enabled() = true")
+	}
+	if err := s.Save("k", 1); err != nil {
+		t.Fatalf("nil store Save: %v", err)
+	}
+	var v int
+	ok, err := s.Load("k", &v)
+	if ok || err != nil {
+		t.Fatalf("nil store Load: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	s, _ := testStore(t)
+	key := Key("tail")
+	if err := s.Save(key, payload{Name: "t"}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := ckptFile(t, s)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out payload
+	ok, err := s.Load(key, &out)
+	if ok {
+		t.Fatal("file with trailing bytes loaded as ok")
+	}
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("err = %v, want trailing-bytes rejection", err)
+	}
+}

@@ -12,9 +12,11 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/timeseries"
@@ -365,8 +367,20 @@ type sim struct {
 }
 
 // Simulate runs the workload through the cluster and returns the
-// event stream, machine series and statistics.
+// event stream, machine series and statistics. It is SimulateCtx with
+// a background context, for callers that don't need cancellation.
 func Simulate(cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
+	return SimulateCtx(context.Background(), cfg, tasks, s)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the event
+// loop polls ctx every few hundred events, so a cancelled or expired
+// context aborts the simulation promptly with ctx's cause instead of
+// running the horizon out.
+func SimulateCtx(ctx context.Context, cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
 	if len(cfg.Machines) == 0 {
 		return nil, fmt.Errorf("cluster: no machines configured")
 	}
@@ -386,10 +400,15 @@ func Simulate(cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
 	sm := &sim{cfg: cfg, s: s.Child("sim"), noise: s.Child("noise"), met: newSimMetrics(cfg.Metrics)}
 	sm.stats.EventCounts = make(map[trace.EventType]int)
 
+	// Accumulator construction can only fail on a range/step the
+	// validation above rejects, but a hand-built Config deserves an
+	// error, not a process crash: collect the first failure and return
+	// it after setup instead of panicking.
+	var accErr error
 	newAcc := func() *timeseries.Accumulator {
 		a, err := timeseries.NewAccumulator(0, cfg.Horizon, cfg.SamplePeriod)
-		if err != nil {
-			panic(err) // horizon/period validated above
+		if err != nil && accErr == nil {
+			accErr = err
 		}
 		return a
 	}
@@ -413,6 +432,9 @@ func Simulate(cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
 		sm.runningAcc = append(sm.runningAcc, newAcc())
 	}
 	sm.pendAcc = newAcc()
+	if accErr != nil {
+		return nil, fmt.Errorf("cluster: accumulator setup: %w", accErr)
+	}
 
 	// Seed arrivals.
 	for i := range tasks {
@@ -439,7 +461,9 @@ func Simulate(cfg Config, tasks []trace.Task, s *rng.Stream) (*Result, error) {
 		}
 	}
 
-	sm.run()
+	if err := sm.run(ctx); err != nil {
+		return nil, err
+	}
 	return sm.result(), nil
 }
 
@@ -454,9 +478,23 @@ func (sm *sim) emit(e trace.TaskEvent) {
 	sm.stats.EventCounts[e.Type]++
 }
 
-func (sm *sim) run() {
+// run drains the event heap. Cancellation and the "cluster.run" fault
+// site are polled every 256 events so the hot path stays one branch
+// wide; event processing itself is strictly deterministic, so the
+// poll cadence never changes results — only how promptly an abort is
+// noticed.
+func (sm *sim) run(ctx context.Context) error {
 	heap.Init(&sm.events)
+	var polled int
 	for sm.events.Len() > 0 {
+		if polled++; polled&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := fault.Hit("cluster.run"); err != nil {
+				return err
+			}
+		}
 		e := heap.Pop(&sm.events).(simEvent)
 		if e.time >= sm.cfg.Horizon {
 			break
@@ -479,6 +517,7 @@ func (sm *sim) run() {
 	// Tasks still running at the horizon contribute usage up to the
 	// horizon; their accounting happens in finishAccounting.
 	sm.finishAccounting()
+	return nil
 }
 
 func (sm *sim) arrive(now int64, p pendingTask) {

@@ -1,12 +1,17 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
 
@@ -425,5 +430,79 @@ func TestDeterministicSimulation(t *testing.T) {
 		if a.Events[i] != b.Events[i] {
 			t.Fatalf("event %d differs", i)
 		}
+	}
+}
+
+// chaosWorkload builds a workload big enough that the event loop's
+// 256-event poll cadence is exercised many times over.
+func chaosWorkload(t *testing.T) (Config, []trace.Task) {
+	t.Helper()
+	machines := synth.GoogleMachines(20, rng.New(3))
+	cfg := DefaultConfig(machines, 8*3600)
+	gcfg := synth.DefaultGoogleConfig(cfg.Horizon)
+	gcfg.JobsPerHour = 40
+	gcfg.Arrival.PerHour = 40
+	gcfg.MaxTasksPerJob = 100
+	return cfg, synth.GenerateGoogleTasks(gcfg, rng.New(4))
+}
+
+func TestSimulateCtxPreCancelled(t *testing.T) {
+	cfg, tasks := chaosWorkload(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("operator hit ^C")
+	cancel(cause)
+	if _, err := SimulateCtx(ctx, cfg, tasks, rng.New(5)); !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want cause %v", err, cause)
+	}
+}
+
+func TestSimulateCtxDeadlineAbortsEventLoop(t *testing.T) {
+	cfg, tasks := chaosWorkload(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := SimulateCtx(ctx, cfg, tasks, rng.New(5))
+	if err == nil {
+		// The sim outran a 1ms deadline; on a fast-enough machine that
+		// is legitimate, but then the result must be complete.
+		if res == nil {
+			t.Fatal("nil result with nil error")
+		}
+		t.Skip("simulation finished inside the 1ms deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if res != nil {
+		t.Fatal("partial result returned alongside error")
+	}
+}
+
+func TestSimulateFaultSiteAbortsCleanly(t *testing.T) {
+	cfg, tasks := chaosWorkload(t)
+	restore := fault.Enable(fault.NewPlan(fault.Rule{Site: "cluster.run", Hit: 2, Kind: fault.Error}))
+	defer restore()
+	_, err := Simulate(cfg, tasks, rng.New(5))
+	var inj *fault.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("err = %v, want injected fault from cluster.run", err)
+	}
+	if inj.Site != "cluster.run" {
+		t.Fatalf("fault site = %q", inj.Site)
+	}
+}
+
+func TestAccumulatorSetupReturnsError(t *testing.T) {
+	// Drive timeseries.NewAccumulator into failure through the closure
+	// that used to panic: a horizon that overflows the bucket count is
+	// impossible via validation, so exercise the path directly instead.
+	if _, err := timeseries.NewAccumulator(0, -1, 300); err == nil {
+		t.Skip("accumulator accepts the probe input; setup path untestable")
+	}
+	// The important property: Simulate never panics on any hand-built
+	// Config that passes validation, even adversarial ones.
+	cfg := DefaultConfig(smallPark(1), 1)
+	cfg.SamplePeriod = 1 << 40
+	if _, err := Simulate(cfg, nil, rng.New(1)); err != nil {
+		t.Fatalf("Simulate on adversarial config: %v", err)
 	}
 }

@@ -37,8 +37,14 @@ func evalCDF(values []float64, xs []float64) []float64 {
 // per priority level, with the paper's low/middle/high clustering.
 func Fig2(ctx *Context) (*Result, error) {
 	res := newResult("fig2", "Number of jobs and tasks per priority")
-	jobs := ctx.GoogleJobs()
-	tasks := ctx.GoogleTasks()
+	jobs, err := ctx.GoogleJobs()
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := ctx.GoogleTasks()
+	if err != nil {
+		return nil, err
+	}
 	jc, tc := workload.PriorityHistogram(jobs, tasks)
 
 	tbl := &report.Table{
@@ -81,7 +87,11 @@ func Fig3(ctx *Context) (*Result, error) {
 	s := report.NewSeries("fig3", "CDF of job length (s)", "seconds")
 	s.X = xs
 
-	gLens := workload.JobLengths(ctx.GoogleJobs())
+	gJobs, err := ctx.GoogleJobs()
+	if err != nil {
+		return nil, err
+	}
+	gLens := workload.JobLengths(gJobs)
 	s.Add("Google", evalCDF(gLens, xs))
 	res.Metrics["google_P_len_lt_1000s"] = stats.NewECDF(gLens).Eval(1000)
 
@@ -122,7 +132,11 @@ func Fig4(ctx *Context) (*Result, error) {
 		return sum
 	}
 
-	g := emit("fig4a", "Google", workload.TaskLengths(ctx.GoogleTasks()))
+	gTasks, err := ctx.GoogleTasks()
+	if err != nil {
+		return nil, err
+	}
+	g := emit("fig4a", "Google", workload.TaskLengths(gTasks))
 	agJobs, err := ctx.GridJobs("AuverGrid")
 	if err != nil {
 		return nil, err
@@ -163,7 +177,11 @@ func Fig5(ctx *Context) (*Result, error) {
 	s := report.NewSeries("fig5", "CDF of submission interval (s)", "seconds")
 	s.X = xs
 
-	gInt := workload.SubmissionIntervals(ctx.GoogleJobs())
+	gJobs, err := ctx.GoogleJobs()
+	if err != nil {
+		return nil, err
+	}
+	gInt := workload.SubmissionIntervals(gJobs)
 	s.Add("Google", evalCDF(gInt, xs))
 	res.Metrics["google_median_interval_s"] = stats.Quantile(gInt, 0.5)
 
@@ -200,7 +218,11 @@ func Table1(ctx *Context) (*Result, error) {
 		res.Metrics[name+"_min"] = rs.Min
 		res.Metrics[name+"_fairness"] = rs.Fairness
 	}
-	addRow("Google", ctx.GoogleJobs())
+	gJobs, err := ctx.GoogleJobs()
+	if err != nil {
+		return nil, err
+	}
+	addRow("Google", gJobs)
 	for _, name := range gridOrder {
 		jobs, err := ctx.GridJobs(name)
 		if err != nil {
@@ -221,7 +243,10 @@ func Fig6(ctx *Context) (*Result, error) {
 	xsCPU := xGrid(5, 201)
 	sa := report.NewSeries("fig6a", "CDF of per-job CPU utilisation (Formula 4)", "processors")
 	sa.X = xsCPU
-	gJobs := ctx.GoogleJobs()
+	gJobs, err := ctx.GoogleJobs()
+	if err != nil {
+		return nil, err
+	}
 	gCPU := workload.CPUUsage(gJobs)
 	sa.Add("Google", evalCDF(gCPU, xsCPU))
 	res.Metrics["google_median_cpu"] = stats.Quantile(gCPU, 0.5)

@@ -130,7 +130,11 @@ func ExtPeriodicity(ctx *Context) (*Result, error) {
 		res.Metrics["hod_peak_to_mean_"+name] = hodPTM
 		return nil
 	}
-	if err := addRow("Google", ctx.GoogleJobs()); err != nil {
+	gJobs, err := ctx.GoogleJobs()
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("Google", gJobs); err != nil {
 		return nil, err
 	}
 	for _, name := range gridOrder {

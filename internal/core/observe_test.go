@@ -24,9 +24,14 @@ func TestCellHitMissCounters(t *testing.T) {
 	rec := obs.NewRecorder()
 	ctx.SetRecorder(rec)
 
-	ctx.GoogleTasks()
-	ctx.GoogleTasks()
-	ctx.GoogleJobs() // misses google_jobs, hits google_tasks internally
+	for i := 0; i < 2; i++ {
+		if _, err := ctx.GoogleTasks(); err != nil {
+			t.Fatalf("GoogleTasks: %v", err)
+		}
+	}
+	if _, err := ctx.GoogleJobs(); err != nil { // misses google_jobs, hits google_tasks internally
+		t.Fatalf("GoogleJobs: %v", err)
+	}
 
 	reg := rec.Registry()
 	if got := reg.Counter("core.cell.google_tasks.miss").Value(); got != 1 {

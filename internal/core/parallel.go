@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/ckpt"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -20,7 +23,45 @@ import (
 // by (seed, label), so no experiment can observe how many neighbours
 // run beside it.
 func RunAllParallel(ctx *Context, workers int) ([]*Result, error) {
-	return RunExperimentsParallel(ctx, Experiments(), workers)
+	return RunExperiments(context.Background(), ctx, Experiments(), RunOptions{Workers: workers})
+}
+
+// RunExperimentsParallel is RunExperiments over an explicit experiment
+// list with default fault-tolerance options (no deadline, no
+// checkpointing, abort on first failure), kept for callers that
+// predate RunOptions.
+func RunExperimentsParallel(ctx *Context, exps []Experiment, workers int) ([]*Result, error) {
+	return RunExperiments(context.Background(), ctx, exps, RunOptions{Workers: workers})
+}
+
+// RunOptions configures the fault-tolerant experiment runner.
+type RunOptions struct {
+	// Workers bounds the worker pool (<= 0 means GOMAXPROCS; 1 runs
+	// inline on the calling goroutine).
+	Workers int
+	// ExpTimeout, when positive, is a per-experiment deadline: an
+	// experiment that exceeds it fails with context.DeadlineExceeded
+	// without affecting its neighbours' budgets.
+	ExpTimeout time.Duration
+	// KeepGoing turns experiment failures (errors, panics, timeouts)
+	// into annotated placeholder Results instead of aborting the run.
+	// Parent-context cancellation still stops the run.
+	KeepGoing bool
+	// Ckpt, when non-nil and enabled, is consulted before running each
+	// experiment and written after each success, so an interrupted run
+	// resumed with the same store rebuilds only the missing artifacts.
+	Ckpt *ckpt.Store
+}
+
+// ckptSchema versions the checkpointed Result encoding. Bump it when
+// Result's shape (or any experiment's semantics) changes so old
+// checkpoint files miss instead of resurrecting stale artifacts.
+const ckptSchema = "core.Result/v1"
+
+// CheckpointKey is the content address of one experiment's artifact:
+// schema version + experiment ID + the full canonical config.
+func CheckpointKey(cfg Config, expID string) string {
+	return ckpt.Key(ckptSchema, expID, cfg.Canonical())
 }
 
 // parRecorder adapts par worker statistics into the context recorder:
@@ -50,64 +91,134 @@ func (p parRecorder) ObserveLoop(name string, n int, stats []par.WorkerStats) {
 // worker claimed it (seconds).
 var queueWaitUppers = []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60}
 
-// RunExperimentsParallel is RunAllParallel over an explicit experiment
-// list (a -only selection, or the registry plus extensions).
-//
-// Error semantics mirror the serial runner's: the returned error is
-// the first failure in list order, and the result slice holds every
-// experiment before that failure. With more than one worker,
-// experiments after the first failure may also have run; their
-// results are discarded so callers see the same prefix either way.
-//
-// With a recorder attached to the context, both paths record one span
-// per experiment (tid = the worker that ran it) and the parallel path
-// additionally records per-worker spans, shard sizes and queue-wait
-// samples. Instrumentation never changes scheduling or results.
-func RunExperimentsParallel(ctx *Context, exps []Experiment, workers int) ([]*Result, error) {
-	rec := ctx.Recorder()
-	w := par.Workers(workers, len(exps))
-	if w == 1 {
-		out := make([]*Result, 0, len(exps))
-		for _, e := range exps {
-			sp := rec.Span("exp:"+e.ID, obs.CatExperiment, 0)
-			r, err := e.Run(ctx)
-			sp.End()
-			if err != nil {
-				return out, fmt.Errorf("core: %s: %w", e.ID, err)
-			}
-			out = append(out, r)
+// runExperimentProtected executes one experiment with panic isolation,
+// a named fault site and an optional per-experiment deadline. The
+// returned error is never a panic in flight: a panicking experiment
+// becomes an error the caller can annotate or abort on.
+func runExperimentProtected(ctx context.Context, c *Context, e Experiment, timeout time.Duration) (r *Result, err error) {
+	// The recovery is installed first so even a panicking fault site
+	// (chaos Kind: Panic) degrades to an error, never a process crash.
+	defer func() {
+		if rec := recover(); rec != nil {
+			r, err = nil, fmt.Errorf("panic: %v", rec)
 		}
-		return out, nil
+	}()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, context.Cause(ctx)
 	}
+	if err := fault.Hit("core.exp." + e.ID); err != nil {
+		return nil, err
+	}
+	expCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		expCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return e.Run(c.WithContext(expCtx))
+}
+
+// RunExperiments is the fault-tolerant runner both the CLI paths use:
+// checkpoint lookup, panic isolation, per-experiment deadlines,
+// keep-going degradation and early cancellation, over 1..N workers.
+// Results come back in list order regardless of completion order.
+//
+// Error semantics without KeepGoing mirror the original serial
+// runner's: the returned error is the first failure in list order
+// (preferring a real failure over a secondary cancellation), and the
+// result slice holds the contiguous prefix of completed experiments
+// before the first gap. With KeepGoing, failed experiments yield
+// placeholder Results (Failed() == true) and the error is non-nil only
+// when the parent ctx was cancelled.
+func RunExperiments(ctx context.Context, c *Context, exps []Experiment, opt RunOptions) ([]*Result, error) {
+	rec := c.Recorder()
+	w := par.Workers(opt.Workers, len(exps))
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
 
 	var (
 		observer par.Observer
 		start    time.Time
 	)
-	if rec != nil {
+	if rec != nil && w > 1 {
 		observer = parRecorder{rec: rec}
 		start = time.Now()
 	}
-	results := make([]*Result, len(exps))
-	errs := make([]error, len(exps))
-	par.ForEachObserved("experiments", len(exps), w, observer, func(i, worker int) {
-		if rec != nil {
+
+	loopErr := par.ForEachCtx(ctx, "experiments", len(exps), w, observer, func(runCtx context.Context, i, worker int) error {
+		e := exps[i]
+		if opt.Ckpt.Enabled() {
+			var cached Result
+			if ok, _ := opt.Ckpt.Load(CheckpointKey(c.Cfg, e.ID), &cached); ok && cached.ID == e.ID {
+				results[i] = &cached
+				return nil
+			}
+		}
+		if rec != nil && w > 1 {
 			rec.Registry().Histogram("par.queue_wait_seconds", queueWaitUppers).
 				Observe(time.Since(start).Seconds())
 		}
-		sp := rec.Span("exp:"+exps[i].ID, obs.CatExperiment, worker)
-		r, err := exps[i].Run(ctx)
+		sp := rec.Span("exp:"+e.ID, obs.CatExperiment, worker)
+		r, err := runExperimentProtected(runCtx, c, e, opt.ExpTimeout)
 		sp.End()
-		if err != nil {
-			errs[i] = fmt.Errorf("core: %s: %w", exps[i].ID, err)
-			return
+		if err == nil {
+			results[i] = r
+			if opt.Ckpt.Enabled() && !r.Failed() {
+				// Best-effort: an unwritable or unmarshalable artifact
+				// (NaN metrics, full disk) is simply not checkpointed;
+				// the store's ckpt.skip counter records it.
+				_ = opt.Ckpt.Save(CheckpointKey(c.Cfg, e.ID), r)
+			}
+			return nil
 		}
-		results[i] = r
+		err = fmt.Errorf("core: %s: %w", e.ID, err)
+		errs[i] = err
+		if opt.KeepGoing {
+			// The parent being cancelled means the operator wants out;
+			// only per-experiment failures degrade gracefully.
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			rec.Registry().Counter("core.exp.failed").Add(1)
+			results[i] = failedResult(e, err)
+			return nil
+		}
+		return err
 	})
-	for i, err := range errs {
-		if err != nil {
-			return results[:i], err
+
+	// Return the first real failure in list order; a secondary
+	// cancellation error (an experiment that observed the loop ctx
+	// dying) must not mask the root cause.
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !isCtxErr(err) {
+			firstErr = err
+			break
 		}
+	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = loopErr
+	}
+	if firstErr != nil && !opt.KeepGoing || loopErr != nil && opt.KeepGoing {
+		if opt.KeepGoing {
+			firstErr = loopErr
+		}
+		prefix := len(results)
+		for i, r := range results {
+			if r == nil {
+				prefix = i
+				break
+			}
+		}
+		return results[:prefix], firstErr
 	}
 	return results, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -116,8 +117,17 @@ func TestContextConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tasks[g] = ctx.GoogleTasks()
-			jobs[g] = ctx.GoogleJobs()
+			var err error
+			tasks[g], err = ctx.GoogleTasks()
+			if err != nil {
+				t.Errorf("goroutine %d: GoogleTasks: %v", g, err)
+				return
+			}
+			jobs[g], err = ctx.GoogleJobs()
+			if err != nil {
+				t.Errorf("goroutine %d: GoogleJobs: %v", g, err)
+				return
+			}
 			sim, err := ctx.Sim()
 			if err != nil {
 				t.Errorf("goroutine %d: Sim: %v", g, err)
@@ -159,7 +169,8 @@ func TestSimErrorMemoized(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int32
 	ctx := NewContext(QuickConfig())
-	ctx.simulate = func(cluster.Config, []trace.Task, *rng.Stream) (*cluster.Result, error) {
+	ctx.SetBuildRetries(0) // retries are off so invocations == callers
+	ctx.simulate = func(context.Context, cluster.Config, []trace.Task, *rng.Stream) (*cluster.Result, error) {
 		calls.Add(1)
 		return nil, boom
 	}
@@ -182,9 +193,9 @@ func TestSimSuccessMemoized(t *testing.T) {
 	var calls atomic.Int32
 	ctx := NewContext(cfg)
 	real := ctx.simulate
-	ctx.simulate = func(c cluster.Config, ts []trace.Task, s *rng.Stream) (*cluster.Result, error) {
+	ctx.simulate = func(sctx context.Context, c cluster.Config, ts []trace.Task, s *rng.Stream) (*cluster.Result, error) {
 		calls.Add(1)
-		return real(c, ts, s)
+		return real(sctx, c, ts, s)
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

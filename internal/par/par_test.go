@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachVisitsEveryIndexOnce(t *testing.T) {
@@ -107,6 +110,130 @@ func TestForEachObservedNilObserver(t *testing.T) {
 	ForEachObserved("", 50, 4, nil, func(i, worker int) { count.Add(1) })
 	if got := count.Load(); got != 50 {
 		t.Fatalf("ran %d times, want 50", got)
+	}
+}
+
+// TestPanicStopsOtherWorkersPromptly is the regression test for the
+// old drain-then-re-panic behaviour: a panic on the worker that claims
+// index 0 must stop the other workers from marching through the whole
+// index space.
+func TestPanicStopsOtherWorkersPromptly(t *testing.T) {
+	const n = 100000
+	var executed atomic.Int64
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		ForEach(n, 8, func(i int) {
+			if i == 0 {
+				panic("boom")
+			}
+			executed.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		})
+	}()
+	if got := executed.Load(); got > n/10 {
+		t.Fatalf("executed %d of %d indices after early panic, want prompt stop", got, n)
+	}
+}
+
+// TestForEachCtxPanicCancelsInFlight: worker 0 panics while workers
+// 1..7 are blocked mid-item; the loop ctx must wake them, and the
+// panic must surface via PanicValue.
+func TestForEachCtxPanicCancelsInFlight(t *testing.T) {
+	const n = 10000
+	var executed atomic.Int64
+	err := ForEachCtx(context.Background(), "chaos", n, 8, nil, func(ctx context.Context, i, worker int) error {
+		executed.Add(1)
+		if i == 0 {
+			time.Sleep(10 * time.Millisecond) // let the others get in flight
+			panic("boom")
+		}
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		case <-time.After(10 * time.Second):
+			return nil
+		}
+	})
+	if v, ok := PanicValue(err); !ok || v != "boom" {
+		t.Fatalf("err = %v (PanicValue ok=%v), want wrapped boom panic", err, ok)
+	}
+	if got := executed.Load(); got > 64 {
+		t.Fatalf("executed %d items, want only the in-flight handful", got)
+	}
+}
+
+func TestForEachCtxFirstErrorInClaimOrder(t *testing.T) {
+	errA := errors.New("err at 5")
+	errB := errors.New("err at 20")
+	for _, workers := range []int{1, 4} {
+		err := ForEachCtx(context.Background(), "", 64, workers, nil, func(_ context.Context, i, _ int) error {
+			switch i {
+			case 5:
+				return errA
+			case 20:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+func TestForEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForEachCtx(ctx, "", 10, 4, nil, func(context.Context, int, int) error {
+		called = true
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error from pre-cancelled ctx")
+	}
+	if called {
+		t.Fatal("fn ran despite pre-cancelled ctx")
+	}
+}
+
+func TestForEachCtxSerialStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForEachCtx(ctx, "", 100, 1, nil, func(_ context.Context, i, _ int) error {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d indices, want 4 (stop right after cancel)", ran)
+	}
+}
+
+func TestForEachCtxSuccess(t *testing.T) {
+	var count atomic.Int32
+	obs := &loopObserver{}
+	err := ForEachCtx(context.Background(), "ok", 64, 4, obs, func(context.Context, int, int) error {
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if count.Load() != 64 {
+		t.Fatalf("ran %d, want 64", count.Load())
+	}
+	if obs.calls != 1 {
+		t.Fatalf("ObserveLoop called %d times, want 1", obs.calls)
 	}
 }
 
