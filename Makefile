@@ -1,6 +1,15 @@
 GO ?= go
+# Bench time for bench-json / bench-diff. The 100ms default keeps
+# bench-diff fast enough for make check while still giving the
+# nanosecond-scale micro-benches enough iterations to mean something;
+# use BENCHTIME=1s for numbers worth committing.
+BENCHTIME ?= 100ms
+# Current benchmark snapshot file, and the newest committed one to
+# diff against.
+BENCH_OUT ?= BENCH_pr4.json
+BENCH_BASE ?= $(lastword $(sort $(filter-out $(BENCH_OUT),$(wildcard BENCH_pr*.json))))
 
-.PHONY: build test race bench verify repro-quick check bench-json chaos
+.PHONY: build test race bench verify repro-quick check bench-json bench-diff chaos
 
 build:
 	$(GO) build ./...
@@ -43,17 +52,25 @@ check: chaos
 	$(GO) test -race ./...
 	$(GO) test -run 'TestInstrumentationByteIdentical|TestInstrumentationDoesNotChangeResults' \
 		./cmd/repro ./internal/core
+	$(GO) test -run 'TestReferencePlacementByteIdentical' ./internal/cluster
+	-$(MAKE) bench-diff BENCH_OUT=/tmp/BENCH_check.json
 
 # Machine-readable benchmark snapshot: the pipeline benches (including
 # the resilient-runner overhead and warm checkpoint-resume pair) plus
 # the simulator, observability, and checkpoint micro-benches, as JSON.
 bench-json:
-	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel|ParallelInstrumented|ParallelResilient|CheckpointWarm)$$' -benchmem -run=^$$ . > /tmp/bench_root.txt
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/cluster >> /tmp/bench_root.txt
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs >> /tmp/bench_root.txt
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/ckpt >> /tmp/bench_root.txt
-	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > BENCH_pr3.json
-	@echo wrote BENCH_pr3.json
+	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel|ParallelInstrumented|ParallelResilient|CheckpointWarm)$$' -benchmem -benchtime=$(BENCHTIME) -run=^$$ . > /tmp/bench_root.txt
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/cluster >> /tmp/bench_root.txt
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/obs >> /tmp/bench_root.txt
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/ckpt >> /tmp/bench_root.txt
+	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+# Re-run the bench suite and diff it against the newest committed
+# snapshot. Exits non-zero if any benchmark's ns/op or allocs/op
+# regressed beyond benchjson's threshold (10% by default).
+bench-diff: bench-json
+	$(GO) run ./cmd/benchjson -old $(BENCH_BASE) -new $(BENCH_OUT)
 
 repro-quick:
 	$(GO) run ./cmd/repro -scale quick

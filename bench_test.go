@@ -47,6 +47,7 @@ func sharedBenchCtx(b *testing.B) *core.Context {
 
 // benchExperiment times one experiment and reports a headline metric.
 func benchExperiment(b *testing.B, id string, metric string) {
+	b.ReportAllocs()
 	ctx := sharedBenchCtx(b)
 	exp, err := core.Find(id)
 	if err != nil {
@@ -135,6 +136,7 @@ func BenchmarkFig13HostLoadComparison(b *testing.B) {
 // dominant cost) is measured, not just the analyses.
 
 func benchRunAll(b *testing.B, workers int) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ctx := core.NewContext(core.QuickConfig())
 		results, err := core.RunAllParallel(ctx, workers)
@@ -155,6 +157,7 @@ func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
 // degradation) but nothing failing — the delta between the two is the
 // fault-tolerance overhead on a healthy run (budget: <5%).
 func BenchmarkRunAllParallelResilient(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ctx := core.NewContext(core.QuickConfig())
 		results, err := core.RunExperiments(context.Background(), ctx, core.Experiments(), core.RunOptions{
@@ -176,6 +179,7 @@ func BenchmarkRunAllParallelResilient(b *testing.B) {
 // pure load/verify — the ratio to BenchmarkRunAllParallel is the
 // warm-start speedup an interrupted run gets back.
 func BenchmarkRunAllCheckpointWarm(b *testing.B) {
+	b.ReportAllocs()
 	store, err := ckpt.NewStore(b.TempDir(), nil)
 	if err != nil {
 		b.Fatal(err)
@@ -201,6 +205,7 @@ func BenchmarkRunAllCheckpointWarm(b *testing.B) {
 // full observability recorder attached — the delta between the two is
 // the end-to-end instrumentation overhead (budget: <5%).
 func BenchmarkRunAllParallelInstrumented(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ctx := core.NewContext(core.QuickConfig())
 		ctx.SetRecorder(obs.NewRecorder())
@@ -218,6 +223,7 @@ func BenchmarkRunAllParallelInstrumented(b *testing.B) {
 // Substrate micro-benchmarks: the hot paths underneath the figures.
 
 func BenchmarkGoogleWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
 	cfg := synth.DefaultGoogleConfig(6 * 3600)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -229,6 +235,7 @@ func BenchmarkGoogleWorkloadGeneration(b *testing.B) {
 }
 
 func BenchmarkClusterSimulation(b *testing.B) {
+	b.ReportAllocs()
 	machines := synth.GoogleMachines(25, rng.New(1))
 	horizon := int64(86400)
 	gcfg := synth.ScaledGoogleConfig(25, horizon)
@@ -243,6 +250,7 @@ func BenchmarkClusterSimulation(b *testing.B) {
 }
 
 func BenchmarkMassCount(b *testing.B) {
+	b.ReportAllocs()
 	s := rng.New(1)
 	xs := make([]float64, 100000)
 	for i := range xs {
@@ -257,6 +265,7 @@ func BenchmarkMassCount(b *testing.B) {
 }
 
 func BenchmarkMeanFilterNoise(b *testing.B) {
+	b.ReportAllocs()
 	s := rng.New(1)
 	vs := make([]float64, 4032) // 14 days of 5-minute samples
 	for i := range vs {
@@ -302,6 +311,7 @@ func maxCPUFraction(res *cluster.Result) float64 {
 }
 
 func benchPlacement(b *testing.B, pol cluster.Policy) {
+	b.ReportAllocs()
 	var last *cluster.Result
 	for i := 0; i < b.N; i++ {
 		last = ablationSim(b, func(c *cluster.Config) { c.Placement = pol })
@@ -314,6 +324,7 @@ func BenchmarkAblationPlacementBestFit(b *testing.B)  { benchPlacement(b, cluste
 func BenchmarkAblationPlacementRandom(b *testing.B)   { benchPlacement(b, cluster.Random) }
 
 func benchPreemption(b *testing.B, on bool) {
+	b.ReportAllocs()
 	var last *cluster.Result
 	for i := 0; i < b.N; i++ {
 		last = ablationSim(b, func(c *cluster.Config) { c.Preemption = on })
@@ -326,6 +337,7 @@ func BenchmarkAblationPreemptionOn(b *testing.B)  { benchPreemption(b, true) }
 func BenchmarkAblationPreemptionOff(b *testing.B) { benchPreemption(b, false) }
 
 func benchArrival(b *testing.B, diurnal, sigma float64) {
+	b.ReportAllocs()
 	horizon := int64(7 * 86400)
 	cfg := synth.ArrivalConfig{PerHour: 100, DiurnalAmp: diurnal, LogSigma: sigma}
 	var fairness float64
@@ -344,6 +356,7 @@ func BenchmarkAblationArrivalFlat(b *testing.B)    { benchArrival(b, 0, 0) }
 func BenchmarkAblationArrivalDiurnal(b *testing.B) { benchArrival(b, 0.5, 1.0) }
 
 func benchSampling(b *testing.B, period int64) {
+	b.ReportAllocs()
 	var avgMin float64
 	for i := 0; i < b.N; i++ {
 		res := ablationSim(b, func(c *cluster.Config) { c.SamplePeriod = period })
@@ -365,6 +378,7 @@ func BenchmarkAblationSampling15Min(b *testing.B) { benchSampling(b, 900) }
 // bigger machine classes (Sharma et al.'s observation, cited by the
 // paper as a driver of utilisation shifts).
 func benchConstraints(b *testing.B, strip bool) {
+	b.ReportAllocs()
 	const n = 30
 	horizon := int64(86400)
 	s := rng.New(123)
@@ -407,6 +421,7 @@ func BenchmarkAblationConstraintsOff(b *testing.B) { benchConstraints(b, true) }
 // Grid scheduler ablation: EASY backfilling vs plain FCFS on the same
 // AuverGrid-style stream.
 func benchGridScheduler(b *testing.B, backfill bool) {
+	b.ReportAllocs()
 	jobs, _, err := synth.AuverGrid.GenerateQueued(2*86400, 64, rng.New(5))
 	if err != nil {
 		b.Fatal(err)

@@ -5,17 +5,25 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson > BENCH.json
+//	benchjson -old BENCH_pr3.json -new BENCH_pr4.json [-threshold 0.10]
 //
 // Each benchmark line ("BenchmarkName-8  100  123 ns/op  45 B/op ...")
 // becomes one entry carrying the iteration count, ns/op, B/op,
 // allocs/op and any custom b.ReportMetric units; the goos/goarch/pkg/
 // cpu header lines become per-entry metadata. Non-benchmark lines
 // (PASS, ok, test logs) are ignored.
+//
+// With -old and -new, benchjson instead compares two such documents:
+// it prints the per-benchmark ns/op, B/op and allocs/op deltas and
+// exits with status 2 if any benchmark's ns/op or allocs/op regressed
+// by more than -threshold (a fraction; 0.10 = 10%). Benchmarks present
+// in only one document are reported but never gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -44,6 +52,18 @@ type Doc struct {
 }
 
 func main() {
+	oldPath := flag.String("old", "", "baseline BENCH json (enables compare mode with -new)")
+	newPath := flag.String("new", "", "candidate BENCH json (enables compare mode with -old)")
+	threshold := flag.Float64("threshold", 0.10,
+		"max allowed fractional regression in ns/op or allocs/op before exiting non-zero")
+	flag.Parse()
+	if (*oldPath == "") != (*newPath == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: -old and -new must be given together")
+		os.Exit(1)
+	}
+	if *oldPath != "" {
+		os.Exit(compareFiles(*oldPath, *newPath, *threshold, os.Stdout, os.Stderr))
+	}
 	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
 }
 
@@ -64,6 +84,128 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// compareFiles loads two benchmark documents and diffs them. Exit
+// codes: 0 within threshold, 1 load error, 2 regression.
+func compareFiles(oldPath, newPath string, threshold float64, stdout, stderr io.Writer) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	regressed := compare(oldDoc, newDoc, threshold, stdout)
+	if len(regressed) > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%: %s\n",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+		return 2
+	}
+	return 0
+}
+
+func loadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// benchKey identifies a benchmark across documents. Procs is left out:
+// the machine, not the code, decides GOMAXPROCS.
+func benchKey(e Entry) string {
+	if e.Pkg == "" {
+		return e.Name
+	}
+	return e.Pkg + "." + e.Name
+}
+
+// compare prints the delta table in the old document's order (new-only
+// benchmarks follow) and returns the keys whose ns/op or allocs/op
+// regressed beyond the threshold.
+func compare(oldDoc, newDoc *Doc, threshold float64, w io.Writer) []string {
+	newByKey := make(map[string]Entry, len(newDoc.Results))
+	for _, e := range newDoc.Results {
+		newByKey[e.Name] = e
+		newByKey[benchKey(e)] = e
+	}
+	fmt.Fprintf(w, "%-52s %26s %26s %26s\n", "benchmark",
+		"ns/op (old→new)", "B/op (old→new)", "allocs/op (old→new)")
+	var regressed []string
+	seen := make(map[string]bool)
+	for _, o := range oldDoc.Results {
+		key := benchKey(o)
+		n, ok := newByKey[key]
+		if !ok {
+			n, ok = newByKey[o.Name]
+		}
+		if !ok {
+			fmt.Fprintf(w, "%-52s %26s\n", key, "removed")
+			continue
+		}
+		seen[benchKey(n)] = true
+		bad := false
+		row := fmt.Sprintf("%-52s %26s", key, deltaCol(o.NsPerOp, n.NsPerOp, threshold, &bad))
+		row += fmt.Sprintf(" %26s", deltaColPtr(o.BytesPerOp, n.BytesPerOp, 0, nil))
+		row += fmt.Sprintf(" %26s", deltaColPtr(o.AllocsOp, n.AllocsOp, threshold, &bad))
+		fmt.Fprintln(w, row)
+		if bad {
+			regressed = append(regressed, key)
+		}
+	}
+	for _, n := range newDoc.Results {
+		if !seen[benchKey(n)] {
+			fmt.Fprintf(w, "%-52s %26s\n", benchKey(n), "added")
+			seen[benchKey(n)] = true
+		}
+	}
+	return regressed
+}
+
+// deltaCol formats "old→new Δ%" and flags a regression when the
+// increase exceeds the threshold (threshold 0 or bad nil = report
+// only, never gate — used for B/op, which allocs/op already covers).
+func deltaCol(oldV, newV, threshold float64, bad *bool) string {
+	if oldV == 0 {
+		return fmt.Sprintf("%s→%s", fmtVal(oldV), fmtVal(newV))
+	}
+	d := (newV - oldV) / oldV
+	if bad != nil && threshold > 0 && d > threshold {
+		*bad = true
+	}
+	return fmt.Sprintf("%s→%s %+.1f%%", fmtVal(oldV), fmtVal(newV), d*100)
+}
+
+func deltaColPtr(oldV, newV *float64, threshold float64, bad *bool) string {
+	if oldV == nil || newV == nil {
+		return "-"
+	}
+	return deltaCol(*oldV, *newV, threshold, bad)
+}
+
+// fmtVal renders a metric compactly (12345678 → 12.3M).
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case v == float64(int64(v)):
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
 }
 
 // parse reads go-test bench output. Header lines (goos:, goarch:,

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -95,5 +96,100 @@ func TestParseMalformedLine(t *testing.T) {
 	}
 	if _, err := parse(strings.NewReader("BenchmarkX-8 5\n")); err == nil {
 		t.Error("truncated line accepted")
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func compareDocs() (*Doc, *Doc) {
+	oldDoc := &Doc{Results: []Entry{
+		{Name: "BenchmarkSimulate", Pkg: "repro/internal/cluster",
+			NsPerOp: 100e6, BytesPerOp: fp(17e6), AllocsOp: fp(170000)},
+		{Name: "BenchmarkRunAllSerial", Pkg: "repro",
+			NsPerOp: 2e9, BytesPerOp: fp(150e6), AllocsOp: fp(270000)},
+		{Name: "BenchmarkGone", Pkg: "repro", NsPerOp: 1},
+	}}
+	newDoc := &Doc{Results: []Entry{
+		{Name: "BenchmarkSimulate", Pkg: "repro/internal/cluster",
+			NsPerOp: 25e6, BytesPerOp: fp(5e6), AllocsOp: fp(1200)},
+		{Name: "BenchmarkRunAllSerial", Pkg: "repro",
+			NsPerOp: 1.9e9, BytesPerOp: fp(140e6), AllocsOp: fp(260000)},
+		{Name: "BenchmarkFresh", Pkg: "repro", NsPerOp: 1},
+	}}
+	return oldDoc, newDoc
+}
+
+func TestCompareImprovement(t *testing.T) {
+	oldDoc, newDoc := compareDocs()
+	var out bytes.Buffer
+	regressed := compare(oldDoc, newDoc, 0.10, &out)
+	if len(regressed) != 0 {
+		t.Errorf("improvements flagged as regressions: %v", regressed)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"repro/internal/cluster.BenchmarkSimulate", "-75.0%",
+		"removed", "added", "repro.BenchmarkFresh",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldDoc, newDoc := compareDocs()
+	// 25e6 -> regression threshold is on the NEW side: make ns/op worse.
+	newDoc.Results[0].NsPerOp = 120e6
+	var out bytes.Buffer
+	regressed := compare(oldDoc, newDoc, 0.10, &out)
+	if len(regressed) != 1 || regressed[0] != "repro/internal/cluster.BenchmarkSimulate" {
+		t.Errorf("regressed = %v", regressed)
+	}
+	// Just inside the threshold gates nothing.
+	newDoc.Results[0].NsPerOp = 109e6
+	if r := compare(oldDoc, newDoc, 0.10, &out); len(r) != 0 {
+		t.Errorf("within-threshold drift flagged: %v", r)
+	}
+	// allocs/op regressions gate too.
+	newDoc.Results[0].AllocsOp = fp(200000)
+	if r := compare(oldDoc, newDoc, 0.10, &out); len(r) != 1 {
+		t.Errorf("alloc regression not flagged: %v", r)
+	}
+	// B/op alone never gates.
+	newDoc.Results[0].AllocsOp = fp(1200)
+	newDoc.Results[0].BytesPerOp = fp(50e6)
+	if r := compare(oldDoc, newDoc, 0.10, &out); len(r) != 0 {
+		t.Errorf("B/op gated: %v", r)
+	}
+}
+
+func TestCompareFiles(t *testing.T) {
+	oldDoc, newDoc := compareDocs()
+	dir := t.TempDir()
+	writeDoc := func(name string, d *Doc) string {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := dir + "/" + name
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := writeDoc("old.json", oldDoc)
+	newP := writeDoc("new.json", newDoc)
+	var out, errOut bytes.Buffer
+	if code := compareFiles(oldP, newP, 0.10, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	newDoc.Results[1].NsPerOp = 4e9
+	newP = writeDoc("new2.json", newDoc)
+	if code := compareFiles(oldP, newP, 0.10, &out, &errOut); code != 2 {
+		t.Fatalf("regression exit = %d, want 2", code)
+	}
+	if code := compareFiles(oldP, dir+"/missing.json", 0.10, &out, &errOut); code != 1 {
+		t.Fatalf("missing file exit = %d, want 1", code)
 	}
 }

@@ -48,7 +48,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -478,7 +478,7 @@ func sortedKeys(m map[string]float64) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }
 

@@ -24,6 +24,7 @@ func benchPayload() *benchResult {
 }
 
 func BenchmarkSave(b *testing.B) {
+	b.ReportAllocs()
 	s, err := NewStore(b.TempDir(), nil)
 	if err != nil {
 		b.Fatal(err)
@@ -38,6 +39,7 @@ func BenchmarkSave(b *testing.B) {
 }
 
 func BenchmarkLoadHit(b *testing.B) {
+	b.ReportAllocs()
 	s, err := NewStore(b.TempDir(), nil)
 	if err != nil {
 		b.Fatal(err)
@@ -57,6 +59,7 @@ func BenchmarkLoadHit(b *testing.B) {
 }
 
 func BenchmarkKey(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Key("core.Result/v1", "fig9", "seed=42 machines=100 sim=604800 wl=604800 maxtasks=0 sample=300")
 	}

@@ -11,10 +11,10 @@
 package cluster
 
 import (
-	"container/heap"
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -90,6 +90,13 @@ type Config struct {
 
 	Placement  Policy
 	Preemption bool // allow high-priority tasks to evict lower ones
+
+	// ReferencePlacement routes place()/preemptFor() through the
+	// original linear machine scan instead of the capacity-indexed
+	// fast path. Debug flag: both paths produce byte-identical event
+	// streams (asserted by TestReferencePlacementByteIdentical); the
+	// flag exists so that equivalence stays independently testable.
+	ReferencePlacement bool
 
 	Outcomes OutcomeMix
 
@@ -269,6 +276,8 @@ type runningTask struct {
 	memUse   float64 // consumed memory
 	cacheUse float64
 	updateAt int64 // pending UPDATE event time (0 = none)
+	runIdx   int32 // position in machineState.running (swap-remove bookkeeping)
+	live     bool  // not yet settled; false once evicted or completed
 }
 
 type pendingTask struct {
@@ -296,40 +305,103 @@ type simEvent struct {
 	machine int          // evMachineDown / evMachineUp
 }
 
-type eventHeap []simEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a 4-ary min-heap of simEvents ordered by (time, seq).
+// It replaces container/heap: the concrete element type keeps push and
+// pop free of the interface boxing that copies every simEvent through
+// an `any` on both ends, and the flatter 4-ary layout halves the tree
+// depth so a sift touches fewer cache lines. (time, seq) is a strict
+// total order — seq is unique per event — so any correct heap yields
+// the identical pop sequence and event replay stays byte-identical to
+// the container/heap implementation it replaces.
+type eventQueue struct {
+	evs []simEvent
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func eventBefore(a, b *simEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) len() int { return len(q.evs) }
+
+func (q *eventQueue) push(e simEvent) {
+	q.evs = append(q.evs, e)
+	i := len(q.evs) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(&q.evs[i], &q.evs[p]) {
+			break
+		}
+		q.evs[i], q.evs[p] = q.evs[p], q.evs[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() simEvent {
+	top := q.evs[0]
+	n := len(q.evs) - 1
+	q.evs[0] = q.evs[n]
+	q.evs[n] = simEvent{} // drop the *runningTask reference
+	q.evs = q.evs[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := min(first+4, n)
+		for c := first + 1; c < last; c++ {
+			if eventBefore(&q.evs[c], &q.evs[best]) {
+				best = c
+			}
+		}
+		if !eventBefore(&q.evs[best], &q.evs[i]) {
+			break
+		}
+		q.evs[i], q.evs[best] = q.evs[best], q.evs[i]
+		i = best
+	}
+	return top
 }
 
 type machineState struct {
 	m        trace.Machine
 	freeCPU  float64 // unreserved CPU (requests)
 	freeMem  float64
-	running  map[*runningTask]bool
-	cacheAff float64 // per-machine page-cache affinity (drives Fig 7d bimodality)
-	down     bool    // offline due to churn
+	running  []*runningTask // unordered; runIdx gives O(1) removal
+	cacheAff float64        // per-machine page-cache affinity (drives Fig 7d bimodality)
+	down     bool           // offline due to churn
+}
+
+func (ms *machineState) addRunning(rt *runningTask) {
+	rt.runIdx = int32(len(ms.running))
+	ms.running = append(ms.running, rt)
+}
+
+// removeRunning swap-deletes rt. Storage order is irrelevant to the
+// results: every consumer that iterates ms.running sorts by a total
+// order before acting (see tryPreempt, machineDown, finishAccounting).
+func (ms *machineState) removeRunning(rt *runningTask) {
+	last := len(ms.running) - 1
+	moved := ms.running[last]
+	ms.running[rt.runIdx] = moved
+	moved.runIdx = rt.runIdx
+	ms.running[last] = nil
+	ms.running = ms.running[:last]
 }
 
 // simMetrics caches the registry metrics the event loop touches.
 // Every field is nil when Config.Metrics is nil; the obs methods are
 // nil-safe, so the hot path carries no "is observability on?" branch.
 type simMetrics struct {
-	events     *obs.Counter   // cluster.events_dispatched
-	scans      *obs.Counter   // cluster.machine_scans (placement loop iterations)
+	events *obs.Counter // cluster.events_dispatched
+	// scans counts machines examined during placement: full-scan
+	// iterations on the reference/Random paths, index probes on the
+	// indexed path.
+	scans      *obs.Counter   // cluster.machine_scans
 	queueDepth *obs.Histogram // cluster.queue_depth, sampled per dispatched event
 }
 
@@ -350,8 +422,13 @@ type sim struct {
 	machines []*machineState
 	pendingQ [trace.MaxPriority + 1][]pendingTask
 	pendingN int
-	events   eventHeap
+	events   eventQueue
 	seq      int64
+	pidx     *placeIndex // nil when Config.ReferencePlacement is set
+
+	rtSlab  []runningTask  // bump-allocated backing storage for attempts
+	rtFree  []*runningTask // recycled attempts (safe once their evComplete popped)
+	victims []*runningTask // scratch for tryPreempt/machineDown
 
 	out        []trace.TaskEvent
 	machineEvs []MachineEvent
@@ -412,11 +489,17 @@ func SimulateCtx(ctx context.Context, cfg Config, tasks []trace.Task, s *rng.Str
 		}
 		return a
 	}
-	for _, m := range cfg.Machines {
-		ms := &machineState{
-			m: m, freeCPU: m.CPU, freeMem: m.Memory,
-			running: make(map[*runningTask]bool),
-		}
+	nm := len(cfg.Machines)
+	states := make([]machineState, nm) // one slab, not nm boxes
+	sm.machines = make([]*machineState, 0, nm)
+	sm.cpuAcc = make([][3]*timeseries.Accumulator, 0, nm)
+	sm.memAcc = make([][3]*timeseries.Accumulator, 0, nm)
+	sm.assignAcc = make([]*timeseries.Accumulator, 0, nm)
+	sm.cacheAcc = make([]*timeseries.Accumulator, 0, nm)
+	sm.runningAcc = make([]*timeseries.Accumulator, 0, nm)
+	for i, m := range cfg.Machines {
+		ms := &states[i]
+		ms.m, ms.freeCPU, ms.freeMem = m, m.CPU, m.Memory
 		// Bimodal page-cache affinity: some machines serve file-backed
 		// workloads, most do not (Fig 7d).
 		if sm.s.Bool(0.45) {
@@ -435,6 +518,15 @@ func SimulateCtx(ctx context.Context, cfg Config, tasks []trace.Task, s *rng.Str
 	if accErr != nil {
 		return nil, fmt.Errorf("cluster: accumulator setup: %w", accErr)
 	}
+	if !cfg.ReferencePlacement {
+		sm.pidx = newPlaceIndex(sm)
+	}
+
+	// Pre-size the hot-path buffers from the workload: the event heap
+	// peaks near one entry per not-yet-completed task, and the output
+	// stream carries roughly SUBMIT + SCHEDULE + terminal per attempt.
+	sm.events.evs = make([]simEvent, 0, len(tasks)+64)
+	sm.out = make([]trace.TaskEvent, 0, 3*len(tasks))
 
 	// Seed arrivals.
 	for i := range tasks {
@@ -470,7 +562,26 @@ func SimulateCtx(ctx context.Context, cfg Config, tasks []trace.Task, s *rng.Str
 func (sm *sim) push(e simEvent) {
 	e.seq = sm.seq
 	sm.seq++
-	heap.Push(&sm.events, e)
+	sm.events.push(e)
+}
+
+// newRunningTask returns a zeroed attempt from the pool. Attempts are
+// recycled in complete(): each attempt owns exactly one evComplete
+// event, so once that event pops, neither the event heap nor any
+// machine's running list can still reference the struct.
+func (sm *sim) newRunningTask() *runningTask {
+	if n := len(sm.rtFree); n > 0 {
+		rt := sm.rtFree[n-1]
+		sm.rtFree = sm.rtFree[:n-1]
+		*rt = runningTask{}
+		return rt
+	}
+	if len(sm.rtSlab) == 0 {
+		sm.rtSlab = make([]runningTask, 512)
+	}
+	rt := &sm.rtSlab[0]
+	sm.rtSlab = sm.rtSlab[1:]
+	return rt
 }
 
 func (sm *sim) emit(e trace.TaskEvent) {
@@ -484,9 +595,8 @@ func (sm *sim) emit(e trace.TaskEvent) {
 // poll cadence never changes results — only how promptly an abort is
 // noticed.
 func (sm *sim) run(ctx context.Context) error {
-	heap.Init(&sm.events)
 	var polled int
-	for sm.events.Len() > 0 {
+	for sm.events.len() > 0 {
 		if polled++; polled&255 == 0 {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
@@ -495,7 +605,7 @@ func (sm *sim) run(ctx context.Context) error {
 				return err
 			}
 		}
-		e := heap.Pop(&sm.events).(simEvent)
+		e := sm.events.pop()
 		if e.time >= sm.cfg.Horizon {
 			break
 		}
@@ -508,8 +618,7 @@ func (sm *sim) run(ctx context.Context) error {
 		case evMachineDown:
 			sm.machineDown(e.time, e.machine)
 		case evMachineUp:
-			sm.machines[e.machine].down = false
-			sm.machineEvs = append(sm.machineEvs, MachineEvent{Time: e.time, Machine: e.machine, Up: true})
+			sm.machineUp(e.time, e.machine)
 		}
 		sm.schedulePending(e.time)
 		sm.met.queueDepth.Observe(float64(sm.pendingN))
@@ -564,78 +673,127 @@ func (sm *sim) schedulePending(now int64) {
 	}
 }
 
-// place finds a machine for the task per the placement policy, or -1.
-func (sm *sim) place(t *trace.Task) int {
-	best := -1
-	var bestScore float64
-	checkFrom := 0
-	n := len(sm.machines)
-	scanned := 0
-	defer func() { sm.met.scans.Add(int64(scanned)) }()
-	if sm.cfg.Placement == Random {
-		checkFrom = sm.s.IntN(n)
+// scoreOf is the placement score of a machine: higher is better, ties
+// break to the lowest machine index. Both expressions are machine
+// properties only, so the placement index can maintain them
+// incrementally; the reference and indexed paths call this one
+// function so their floating-point arithmetic is bit-identical.
+//   - Balanced: mean relative headroom (worst fit).
+//   - BestFit: tightest absolute free capacity. (The pre-index code
+//     also subtracted the task's own requests; that per-call constant
+//     never changed the argmax, and dropping it makes the score a pure
+//     machine property.)
+func (sm *sim) scoreOf(ms *machineState) float64 {
+	if sm.cfg.Placement == BestFit {
+		return -(ms.freeCPU + ms.freeMem)
 	}
+	return (ms.freeCPU/ms.m.CPU + ms.freeMem/ms.m.Memory) / 2
+}
+
+// place finds a machine for the task per the placement policy, or -1.
+// Random draws a uniform starting index and scans from it (the same
+// code runs in both modes so the RNG stream stays aligned); Balanced
+// and BestFit route through the capacity index unless
+// Config.ReferencePlacement pins the original linear scan.
+func (sm *sim) place(t *trace.Task) int {
+	if sm.cfg.Placement == Random {
+		return sm.placeRandom(t)
+	}
+	if sm.pidx == nil {
+		return sm.placeReference(t)
+	}
+	return sm.placeIndexed(t)
+}
+
+func (sm *sim) placeRandom(t *trace.Task) int {
+	n := len(sm.machines)
+	checkFrom := sm.s.IntN(n)
 	for k := 0; k < n; k++ {
-		scanned++
 		i := (checkFrom + k) % n
 		ms := sm.machines[i]
 		if ms.down || ms.m.CPU < t.MinCPUClass || ms.freeCPU < t.CPUReq || ms.freeMem < t.MemReq {
 			continue
 		}
-		switch sm.cfg.Placement {
-		case Random:
-			return i
-		case BestFit:
-			// Tightest remaining capacity after placement.
-			score := -(ms.freeCPU - t.CPUReq + ms.freeMem - t.MemReq)
-			if best < 0 || score > bestScore {
-				best, bestScore = i, score
-			}
-		default: // Balanced: most headroom relative to capacity
-			score := (ms.freeCPU/ms.m.CPU + ms.freeMem/ms.m.Memory) / 2
-			if best < 0 || score > bestScore {
-				best, bestScore = i, score
-			}
+		sm.met.scans.Add(int64(k + 1))
+		return i
+	}
+	sm.met.scans.Add(int64(n))
+	return -1
+}
+
+// placeReference is the original O(machines) scan, kept as the
+// byte-identity oracle for the indexed path: first machine with the
+// maximal score wins (strict >, so ties break to the lowest index).
+func (sm *sim) placeReference(t *trace.Task) int {
+	best := -1
+	var bestScore float64
+	for i, ms := range sm.machines {
+		if ms.down || ms.m.CPU < t.MinCPUClass || ms.freeCPU < t.CPUReq || ms.freeMem < t.MemReq {
+			continue
+		}
+		score := sm.scoreOf(ms)
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
 		}
 	}
+	sm.met.scans.Add(int64(len(sm.machines)))
 	return best
 }
 
 // preemptFor tries to make room for a high-priority task by evicting
 // strictly-lower-priority tasks from one machine. Returns the machine
-// index, or -1 if no machine can be cleared.
+// index, or -1 if no machine can be cleared. Machines are tried in
+// index order in both modes; the index merely skips capacity classes
+// below the task's constraint.
 func (sm *sim) preemptFor(now int64, t *trace.Task) int {
-	for i, ms := range sm.machines {
-		if ms.down || ms.m.CPU < t.MinCPUClass {
-			continue
-		}
-		var cpuGain, memGain float64
-		var victims []*runningTask
-		for rt := range ms.running {
-			if rt.task.Priority < t.Priority {
-				victims = append(victims, rt)
-				cpuGain += rt.task.CPUReq
-				memGain += rt.task.MemReq
+	if sm.pidx == nil {
+		for i := range sm.machines {
+			if sm.tryPreempt(now, t, i) {
+				return i
 			}
 		}
-		if ms.freeCPU+cpuGain < t.CPUReq || ms.freeMem+memGain < t.MemReq {
-			continue
+		return -1
+	}
+	for _, i := range sm.pidx.eligible(t.MinCPUClass) {
+		if sm.tryPreempt(now, t, int(i)) {
+			return int(i)
 		}
-		// Evict lowest priority first (FCFS ties by start then identity)
-		// until the task fits. The sort keeps the simulation
-		// deterministic: map iteration order must not pick victims.
-		sort.Slice(victims, func(a, b int) bool {
-			va, vb := victims[a], victims[b]
-			if va.task.Priority != vb.task.Priority {
-				return va.task.Priority < vb.task.Priority
+	}
+	return -1
+}
+
+// tryPreempt clears machine i for t if evicting its strictly-lower-
+// priority work frees enough capacity. Victims go lowest priority
+// first (FCFS ties by start then identity) until the task fits; the
+// sort keeps victim choice deterministic regardless of how the
+// running list is stored.
+func (sm *sim) tryPreempt(now int64, t *trace.Task, i int) bool {
+	ms := sm.machines[i]
+	if ms.down || ms.m.CPU < t.MinCPUClass {
+		return false
+	}
+	var cpuGain, memGain float64
+	victims := sm.victims[:0]
+	for _, rt := range ms.running {
+		if rt.task.Priority < t.Priority {
+			victims = append(victims, rt)
+			cpuGain += rt.task.CPUReq
+			memGain += rt.task.MemReq
+		}
+	}
+	ok := false
+	if ms.freeCPU+cpuGain >= t.CPUReq && ms.freeMem+memGain >= t.MemReq {
+		slices.SortFunc(victims, func(a, b *runningTask) int {
+			if a.task.Priority != b.task.Priority {
+				return cmp.Compare(a.task.Priority, b.task.Priority)
 			}
-			if va.start != vb.start {
-				return va.start < vb.start
+			if a.start != b.start {
+				return cmp.Compare(a.start, b.start)
 			}
-			if va.task.JobID != vb.task.JobID {
-				return va.task.JobID < vb.task.JobID
+			if a.task.JobID != b.task.JobID {
+				return cmp.Compare(a.task.JobID, b.task.JobID)
 			}
-			return va.task.Index < vb.task.Index
+			return cmp.Compare(a.task.Index, b.task.Index)
 		})
 		for _, v := range victims {
 			if ms.freeCPU >= t.CPUReq && ms.freeMem >= t.MemReq {
@@ -645,10 +803,11 @@ func (sm *sim) preemptFor(now int64, t *trace.Task) int {
 		}
 		if ms.freeCPU >= t.CPUReq && ms.freeMem >= t.MemReq {
 			sm.stats.Preemptions++
-			return i
+			ok = true
 		}
 	}
-	return -1
+	sm.victims = victims[:0]
+	return ok
 }
 
 // machineDown takes a machine offline, evicting everything on it.
@@ -658,21 +817,27 @@ func (sm *sim) machineDown(now int64, mi int) {
 		return
 	}
 	ms.down = true
+	sm.idxUpdate(mi) // invalidate: down machines have no index entry
 	sm.stats.MachineFailures++
 	sm.machineEvs = append(sm.machineEvs, MachineEvent{Time: now, Machine: mi, Up: false})
-	victims := make([]*runningTask, 0, len(ms.running))
-	for rt := range ms.running {
-		victims = append(victims, rt)
-	}
-	sort.Slice(victims, func(a, b int) bool {
-		if victims[a].task.JobID != victims[b].task.JobID {
-			return victims[a].task.JobID < victims[b].task.JobID
+	victims := append(sm.victims[:0], ms.running...)
+	slices.SortFunc(victims, func(a, b *runningTask) int {
+		if a.task.JobID != b.task.JobID {
+			return cmp.Compare(a.task.JobID, b.task.JobID)
 		}
-		return victims[a].task.Index < victims[b].task.Index
+		return cmp.Compare(a.task.Index, b.task.Index)
 	})
 	for _, rt := range victims {
 		sm.evict(now, rt)
 	}
+	sm.victims = victims[:0]
+}
+
+// machineUp returns a machine to service.
+func (sm *sim) machineUp(now int64, mi int) {
+	sm.machines[mi].down = false
+	sm.machineEvs = append(sm.machineEvs, MachineEvent{Time: now, Machine: mi, Up: true})
+	sm.idxUpdate(mi)
 }
 
 // evict terminates a running task early with an EVICT event.
@@ -682,22 +847,38 @@ func (sm *sim) evict(now int64, rt *runningTask) {
 	sm.settle(now, rt)
 }
 
+// reserve books t's requests on machine mi and refreshes its index
+// entry; release is the inverse. All free-capacity mutations go
+// through these two so the index can never go stale.
+func (sm *sim) reserve(mi int, t *trace.Task) {
+	ms := sm.machines[mi]
+	ms.freeCPU -= t.CPUReq
+	ms.freeMem -= t.MemReq
+	sm.idxUpdate(mi)
+}
+
+func (sm *sim) release(mi int, t *trace.Task) {
+	ms := sm.machines[mi]
+	ms.freeCPU += t.CPUReq
+	ms.freeMem += t.MemReq
+	sm.idxUpdate(mi)
+}
+
 // start begins an execution attempt on machine mi.
 func (sm *sim) start(now int64, p pendingTask, mi int) {
 	t := p.task
 	ms := sm.machines[mi]
-	ms.freeCPU -= t.CPUReq
-	ms.freeMem -= t.MemReq
+	sm.reserve(mi, t)
 
 	outcome, dur := sm.drawOutcome(t)
-	rt := &runningTask{
-		task: t, machine: mi, start: now, end: now + dur,
-		outcome: outcome, retries: p.retries,
-		cpuUse: t.CPUReq * t.Busy,
-		memUse: t.MemReq * sm.s.Range(0.60, 0.95),
-	}
+	rt := sm.newRunningTask()
+	rt.task, rt.machine, rt.start, rt.end = t, mi, now, now+dur
+	rt.outcome, rt.retries = outcome, p.retries
+	rt.cpuUse = t.CPUReq * t.Busy
+	rt.memUse = t.MemReq * sm.s.Range(0.60, 0.95)
 	rt.cacheUse = t.MemReq * ms.cacheAff * sm.s.Range(0.5, 1.5)
-	ms.running[rt] = true
+	rt.live = true
+	ms.addRunning(rt)
 
 	sm.emit(trace.TaskEvent{
 		Time: now, JobID: t.JobID, TaskIndex: t.Index,
@@ -749,23 +930,23 @@ func (sm *sim) drawOutcome(t *trace.Task) (trace.EventType, int64) {
 	return outcome, dur
 }
 
-// complete handles a completion event. Stale events for tasks that
-// were already evicted are ignored.
+// complete handles a completion event. Stale events for attempts that
+// were already evicted settle nothing. Either way this attempt's only
+// remaining reference just left the event heap, so the struct goes
+// back to the pool.
 func (sm *sim) complete(now int64, rt *runningTask) {
-	ms := sm.machines[rt.machine]
-	if !ms.running[rt] {
-		return // evicted earlier; already settled
+	if rt.live {
+		sm.settle(now, rt)
 	}
-	sm.settle(now, rt)
+	sm.rtFree = append(sm.rtFree, rt)
 }
 
 // settle finalises an attempt: frees resources, emits the terminal
 // event, accounts usage and possibly resubmits.
 func (sm *sim) settle(now int64, rt *runningTask) {
-	ms := sm.machines[rt.machine]
-	delete(ms.running, rt)
-	ms.freeCPU += rt.task.CPUReq
-	ms.freeMem += rt.task.MemReq
+	sm.machines[rt.machine].removeRunning(rt)
+	rt.live = false
+	sm.release(rt.machine, rt.task)
 
 	if rt.updateAt > 0 && rt.updateAt < now && rt.updateAt < sm.cfg.Horizon {
 		sm.emit(trace.TaskEvent{
@@ -870,18 +1051,16 @@ func (sm *sim) burstFactor(machine int, window int64) float64 {
 // tasks.
 func (sm *sim) finishAccounting() {
 	for _, ms := range sm.machines {
-		still := make([]*runningTask, 0, len(ms.running))
-		for rt := range ms.running {
-			still = append(still, rt)
-		}
 		// Deterministic order: accounting consumes the noise stream.
-		sort.Slice(still, func(a, b int) bool {
-			if still[a].task.JobID != still[b].task.JobID {
-				return still[a].task.JobID < still[b].task.JobID
+		// Sorting in place is fine — the run is over, so the swap-remove
+		// bookkeeping no longer matters.
+		slices.SortFunc(ms.running, func(a, b *runningTask) int {
+			if a.task.JobID != b.task.JobID {
+				return cmp.Compare(a.task.JobID, b.task.JobID)
 			}
-			return still[a].task.Index < still[b].task.Index
+			return cmp.Compare(a.task.Index, b.task.Index)
 		})
-		for _, rt := range still {
+		for _, rt := range ms.running {
 			sm.account(rt, sm.cfg.Horizon)
 		}
 	}

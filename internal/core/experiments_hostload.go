@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/hostload"
 	"repro/internal/par"
@@ -39,7 +40,7 @@ func Fig7(ctx *Context) (*Result, error) {
 		for c := range byClass {
 			classes = append(classes, c)
 		}
-		sort.Float64s(classes)
+		slices.Sort(classes)
 		s := report.NewSeries(p.id,
 			fmt.Sprintf("PDF of normalised maximum host load (%s)", p.attr), "max load")
 		h0 := stats.NewHistogram(nil, bins, 0, 1)
@@ -64,7 +65,7 @@ func Fig7(ctx *Context) (*Result, error) {
 		for c := range byClass {
 			caps = append(caps, c)
 		}
-		sort.Float64s(caps)
+		slices.Sort(caps)
 		var relMax []float64
 		for _, c := range caps {
 			for _, m := range byClass[c] {
@@ -97,7 +98,12 @@ func Fig8(ctx *Context) (*Result, error) {
 	occs := par.Map(len(sim.Machines), 0, func(i int) occ {
 		return occ{i, stats.Mean(sim.Machines[i].Running.Values)}
 	})
-	sort.Slice(occs, func(i, j int) bool { return occs[i].mean < occs[j].mean })
+	slices.SortFunc(occs, func(a, b occ) int {
+		if a.mean != b.mean {
+			return cmp.Compare(a.mean, b.mean)
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
 	pick := occs[len(occs)/2].idx
 	ms := sim.Machines[pick]
 	qs := hostload.MachineQueueState(ms, sim.Events)
@@ -173,7 +179,8 @@ func Fig9(ctx *Context) (*Result, error) {
 	// The paper shows the four middle intervals.
 	for _, iv := range intervals[1:5] {
 		ds := durs[iv]
-		sum := workload.SummarizeMassCount(ds)
+		sv := stats.NewSorted(ds)
+		sum := workload.SummarizeMassCountSorted(ds, sv)
 		name := fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
 		tbl.AddRow(name, fmt.Sprintf("%d", sum.N),
 			fmt.Sprintf("%.0f/%.0f", sum.JointItems, sum.JointMass),
@@ -181,7 +188,7 @@ func Fig9(ctx *Context) (*Result, error) {
 		res.Metrics["joint_items_"+name] = sum.JointItems
 
 		if sum.N > 1 {
-			mc := stats.NewMassCount(ds)
+			mc := stats.NewMassCountSorted(sv)
 			xsRaw, count, mass := mc.Curve(200)
 			xs := make([]float64, len(xsRaw))
 			for i, x := range xsRaw {
@@ -360,7 +367,8 @@ func usageMassCount(ctx *Context, id, title string, attr hostload.Attribute) (*R
 		group trace.PriorityGroup
 	}{{"all priorities", trace.LowPriority}, {"high priority", trace.HighPriority}} {
 		samples := hostload.UsageSamples(sim.Machines, attr, g.group)
-		sum := workload.SummarizeMassCount(samples)
+		sv := stats.NewSorted(samples)
+		sum := workload.SummarizeMassCountSorted(samples, sv)
 		tbl.AddRow(g.name, report.F2(sum.Mean),
 			fmt.Sprintf("%.0f/%.0f", sum.JointItems, sum.JointMass),
 			report.F2(sum.MMDistance))
@@ -372,7 +380,7 @@ func usageMassCount(ctx *Context, id, title string, attr hostload.Attribute) (*R
 		res.Metrics["joint_items_"+key] = sum.JointItems
 		res.Metrics["mmdis_pct_"+key] = sum.MMDistance
 
-		mc := stats.NewMassCount(samples)
+		mc := stats.NewMassCountSorted(sv)
 		if mc != nil {
 			xs, count, mass := mc.Curve(200)
 			s := report.NewSeries(id+"-"+key, title+" ("+g.name+")", "percent")
@@ -429,7 +437,12 @@ func Fig13(ctx *Context) (*Result, error) {
 		rel := hostload.RelativeSeries(sim.Machines[i], hostload.CPUUsage, trace.LowPriority)
 		return mload{i, stats.Mean(rel.Values)}
 	})
-	sort.Slice(loads, func(i, j int) bool { return loads[i].mean < loads[j].mean })
+	slices.SortFunc(loads, func(a, b mload) int {
+		if a.mean != b.mean {
+			return cmp.Compare(a.mean, b.mean)
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
 	gm := sim.Machines[loads[len(loads)/2].idx]
 	gCPU := hostload.RelativeSeries(gm, hostload.CPUUsage, trace.LowPriority)
 	gMem := hostload.RelativeSeries(gm, hostload.MemUsed, trace.LowPriority)

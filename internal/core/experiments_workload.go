@@ -25,7 +25,14 @@ func xGrid(hi float64, n int) []float64 {
 
 // evalCDF evaluates an ECDF over the grid.
 func evalCDF(values []float64, xs []float64) []float64 {
-	e := stats.NewECDF(values)
+	return evalCDFSorted(stats.NewSorted(values), xs)
+}
+
+// evalCDFSorted evaluates an ECDF over the grid from a pre-sorted
+// view, so figures that also need quantiles or mass-count curves of
+// the same vector sort it once.
+func evalCDFSorted(sv *stats.Sorted, xs []float64) []float64 {
+	e := stats.NewECDFSorted(sv)
 	out := make([]float64, len(xs))
 	for i, x := range xs {
 		out[i] = e.Eval(x)
@@ -91,18 +98,18 @@ func Fig3(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gLens := workload.JobLengths(gJobs)
-	s.Add("Google", evalCDF(gLens, xs))
-	res.Metrics["google_P_len_lt_1000s"] = stats.NewECDF(gLens).Eval(1000)
+	gSorted := stats.NewSorted(workload.JobLengths(gJobs))
+	s.Add("Google", evalCDFSorted(gSorted, xs))
+	res.Metrics["google_P_len_lt_1000s"] = gSorted.CDF(1000)
 
 	for _, name := range gridOrder {
 		jobs, err := ctx.GridJobs(name)
 		if err != nil {
 			return nil, err
 		}
-		lens := workload.JobLengths(jobs)
-		s.Add(name, evalCDF(lens, xs))
-		res.Metrics["gridP1000_"+name] = stats.NewECDF(lens).Eval(1000)
+		sv := stats.NewSorted(workload.JobLengths(jobs))
+		s.Add(name, evalCDFSorted(sv, xs))
+		res.Metrics["gridP1000_"+name] = sv.CDF(1000)
 	}
 	res.Series = append(res.Series, s)
 	res.Notes = append(res.Notes,
@@ -117,8 +124,9 @@ func Fig4(ctx *Context) (*Result, error) {
 	const day = 86400.0
 
 	emit := func(id, name string, lens []float64) workload.MassCountSummary {
-		mc := stats.NewMassCount(lens)
-		sum := workload.SummarizeMassCount(lens)
+		sv := stats.NewSorted(lens)
+		mc := stats.NewMassCountSorted(sv)
+		sum := workload.SummarizeMassCountSorted(lens, sv)
 		xsRaw, count, mass := mc.Curve(300)
 		xs := make([]float64, len(xsRaw))
 		for i, x := range xsRaw {
@@ -181,19 +189,19 @@ func Fig5(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gInt := workload.SubmissionIntervals(gJobs)
-	s.Add("Google", evalCDF(gInt, xs))
-	res.Metrics["google_median_interval_s"] = stats.Quantile(gInt, 0.5)
+	gInt := stats.NewSorted(workload.SubmissionIntervals(gJobs))
+	s.Add("Google", evalCDFSorted(gInt, xs))
+	res.Metrics["google_median_interval_s"] = gInt.Quantile(0.5)
 
 	for _, name := range gridOrder {
 		jobs, err := ctx.GridJobs(name)
 		if err != nil {
 			return nil, err
 		}
-		iv := workload.SubmissionIntervals(jobs)
-		s.Add(name, evalCDF(iv, xs))
+		iv := stats.NewSorted(workload.SubmissionIntervals(jobs))
+		s.Add(name, evalCDFSorted(iv, xs))
 		if name == "AuverGrid" {
-			res.Metrics["auvergrid_median_interval_s"] = stats.Quantile(iv, 0.5)
+			res.Metrics["auvergrid_median_interval_s"] = iv.Quantile(0.5)
 		}
 	}
 	res.Series = append(res.Series, s)
@@ -247,17 +255,17 @@ func Fig6(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gCPU := workload.CPUUsage(gJobs)
-	sa.Add("Google", evalCDF(gCPU, xsCPU))
-	res.Metrics["google_median_cpu"] = stats.Quantile(gCPU, 0.5)
+	gCPU := stats.NewSorted(workload.CPUUsage(gJobs))
+	sa.Add("Google", evalCDFSorted(gCPU, xsCPU))
+	res.Metrics["google_median_cpu"] = gCPU.Quantile(0.5)
 	for _, name := range []string{"AuverGrid", "DAS-2"} {
 		jobs, err := ctx.GridJobs(name)
 		if err != nil {
 			return nil, err
 		}
-		cpu := workload.CPUUsage(jobs)
-		sa.Add(name, evalCDF(cpu, xsCPU))
-		res.Metrics["median_cpu_"+name] = stats.Quantile(cpu, 0.5)
+		cpu := stats.NewSorted(workload.CPUUsage(jobs))
+		sa.Add(name, evalCDFSorted(cpu, xsCPU))
+		res.Metrics["median_cpu_"+name] = cpu.Quantile(0.5)
 	}
 	res.Series = append(res.Series, sa)
 
@@ -265,20 +273,20 @@ func Fig6(ctx *Context) (*Result, error) {
 	xsMem := xGrid(1000, 201)
 	sb := report.NewSeries("fig6b", "CDF of per-job memory usage (MB)", "MB")
 	sb.X = xsMem
-	g32 := workload.MemoryUsageMB(gJobs, 32)
+	g32 := stats.NewSorted(workload.MemoryUsageMB(gJobs, 32))
 	g64 := workload.MemoryUsageMB(gJobs, 64)
-	sb.Add("Google (32GB)", evalCDF(g32, xsMem))
+	sb.Add("Google (32GB)", evalCDFSorted(g32, xsMem))
 	sb.Add("Google (64GB)", evalCDF(g64, xsMem))
-	res.Metrics["google32_median_mem_mb"] = stats.Quantile(g32, 0.5)
+	res.Metrics["google32_median_mem_mb"] = g32.Quantile(0.5)
 	for _, name := range []string{"AuverGrid", "SHARCNET", "DAS-2"} {
 		jobs, err := ctx.GridJobs(name)
 		if err != nil {
 			return nil, err
 		}
-		mem := workload.MemoryUsageMB(jobs, 0)
-		sb.Add(name, evalCDF(mem, xsMem))
+		mem := stats.NewSorted(workload.MemoryUsageMB(jobs, 0))
+		sb.Add(name, evalCDFSorted(mem, xsMem))
 		if name == "AuverGrid" {
-			res.Metrics["auvergrid_median_mem_mb"] = stats.Quantile(mem, 0.5)
+			res.Metrics["auvergrid_median_mem_mb"] = mem.Quantile(0.5)
 		}
 	}
 	res.Series = append(res.Series, sb)

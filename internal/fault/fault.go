@@ -12,8 +12,9 @@
 package fault
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,7 +102,7 @@ func NewPlan(rules ...Rule) *Plan {
 	}
 	for site := range p.rules {
 		rs := p.rules[site]
-		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Hit < rs[j].Hit })
+		slices.SortStableFunc(rs, func(a, b Rule) int { return cmp.Compare(a.Hit, b.Hit) })
 	}
 	return p
 }
@@ -139,7 +140,7 @@ func (p *Plan) Rules() []Rule {
 	for site := range p.rules {
 		sites = append(sites, site)
 	}
-	sort.Strings(sites)
+	slices.Sort(sites)
 	for _, site := range sites {
 		out = append(out, p.rules[site]...)
 	}

@@ -7,9 +7,10 @@
 package fit
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/dist"
 )
@@ -176,7 +177,13 @@ func CDF(d dist.Dist, x float64) (float64, error) {
 // ECDF and the model CDF.
 func KSOneSample(xs []float64, d dist.Dist) (float64, error) {
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
+	return ksSorted(sorted, d)
+}
+
+// ksSorted is KSOneSample on an already-sorted sample; Fit uses it to
+// sort once for all candidate families instead of once per family.
+func ksSorted(sorted []float64, d dist.Dist) (float64, error) {
 	n := float64(len(sorted))
 	var dMax float64
 	for i, x := range sorted {
@@ -231,14 +238,17 @@ func Fit(xs []float64) ([]Model, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("fit: no family could be fitted")
 	}
+	sorted := append([]float64(nil), xs...)
+	slices.Sort(sorted)
 	for i := range models {
-		ks, err := KSOneSample(xs, models[i].Dist)
+		ks, err := ksSorted(sorted, models[i].Dist)
 		if err != nil {
 			return nil, err
 		}
 		models[i].KS = ks
 	}
-	sort.Slice(models, func(i, j int) bool { return models[i].KS < models[j].KS })
+	// Stable: families with equal KS keep their declaration order.
+	slices.SortStableFunc(models, func(a, b Model) int { return cmp.Compare(a.KS, b.KS) })
 	return models, nil
 }
 

@@ -10,9 +10,10 @@
 package gridsim
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/timeseries"
 )
@@ -94,11 +95,11 @@ func Simulate(cfg Config, jobs []JobSpec, step int64) (*Result, error) {
 		}
 	}
 	ordered := append([]JobSpec(nil), jobs...)
-	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].Submit != ordered[j].Submit {
-			return ordered[i].Submit < ordered[j].Submit
+	slices.SortFunc(ordered, func(a, b JobSpec) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return ordered[i].ID < ordered[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 
 	var (
@@ -158,7 +159,7 @@ func Simulate(cfg Config, jobs []JobSpec, step int64) (*Result, error) {
 		// accumulate. Extra processors free at that moment may be used
 		// by backfilled jobs that outlast the shadow time.
 		byEst := append([]runningJob(nil), running...)
-		sort.Slice(byEst, func(i, j int) bool { return byEst[i].est < byEst[j].est })
+		slices.SortFunc(byEst, func(a, b runningJob) int { return cmp.Compare(a.est, b.est) })
 		avail := free
 		shadow := now
 		for _, r := range byEst {

@@ -8,8 +8,9 @@
 package hostload
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/par"
@@ -153,7 +154,10 @@ func MachineEvents(events []trace.TaskEvent, machineID int) []trace.TaskEvent {
 			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	// Stable: the simulator emits same-time events for one machine in a
+	// deterministic order, and an unstable sort could reorder them
+	// differently across Go releases.
+	slices.SortStableFunc(out, func(a, b trace.TaskEvent) int { return cmp.Compare(a.Time, b.Time) })
 	return out
 }
 

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // WriteMetricsJSONL writes the registry snapshot followed by every
@@ -67,7 +67,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	for tid := range laneCat {
 		lanes = append(lanes, tid)
 	}
-	sort.Ints(lanes)
+	slices.Sort(lanes)
 	for _, tid := range lanes {
 		label := laneCat[tid]
 		if tid < autoTIDBase {

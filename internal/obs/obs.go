@@ -19,7 +19,9 @@ package obs
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -264,11 +266,11 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			Le: le, Counts: counts, Count: count, Sum: sum,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Type != out[j].Type {
-			return out[i].Type < out[j].Type
+	slices.SortFunc(out, func(a, b MetricSnapshot) int {
+		if a.Type != b.Type {
+			return strings.Compare(a.Type, b.Type)
 		}
-		return out[i].Name < out[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	return out
 }

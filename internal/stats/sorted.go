@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"slices"
+)
+
+// Sorted is a memoized ascending view of a sample. The experiment
+// layers evaluate several kernels — CDF grids, quantiles, mass-count
+// disparity, mm-distance — over the same sample vector; each kernel
+// used to copy and sort the sample for itself, so one vector could be
+// sorted five times per figure. Building a Sorted once and handing it
+// to NewECDFSorted / NewMassCountSorted / Quantile sorts exactly once.
+//
+// The zero value is an empty sample. The view is immutable by
+// convention: nothing in this package writes to the backing slice
+// after construction, and callers of Values must not either.
+type Sorted struct {
+	xs []float64
+}
+
+// NewSorted copies and sorts the sample. The input is not modified.
+func NewSorted(xs []float64) *Sorted {
+	s := append([]float64(nil), xs...)
+	slices.Sort(s)
+	return &Sorted{xs: s}
+}
+
+// Len returns the sample size.
+func (s *Sorted) Len() int { return len(s.xs) }
+
+// Values returns the ascending sample. Callers must not modify it.
+func (s *Sorted) Values() []float64 { return s.xs }
+
+// Min returns the smallest value, or NaN for an empty sample.
+func (s *Sorted) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return s.xs[0]
+}
+
+// Max returns the largest value, or NaN for an empty sample.
+func (s *Sorted) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return s.xs[len(s.xs)-1]
+}
+
+// Quantile returns the p-quantile (R type-7, matching Quantile), or
+// NaN for an empty sample.
+func (s *Sorted) Quantile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(s.xs, p)
+}
+
+// CDF returns the empirical P(X <= x), or NaN for an empty sample.
+func (s *Sorted) CDF(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return float64(searchGT(s.xs, x)) / float64(len(s.xs))
+}
+
+// searchGT returns the number of values <= x: the index of the first
+// element strictly greater than x, len(xs) if none. Equivalent to
+// sort.SearchFloat64s(xs, math.Nextafter(x, +Inf)) — including for
+// NaN x, where the predicate is never true — but monomorphic and
+// closure-free, which matters on the 200-point CDF grids.
+func searchGT(xs []float64, x float64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// searchGE returns the index of the first element >= x, len(xs) if
+// none (sort.SearchFloat64s semantics).
+func searchGE(xs []float64, x float64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

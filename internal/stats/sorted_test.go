@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomSample(n int, seed uint64) []float64 {
+	s := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.ExpFloat64() * 100
+	}
+	return xs
+}
+
+func TestNewSortedDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	orig := append([]float64(nil), xs...)
+	sv := NewSorted(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("input mutated at %d: %v", i, xs)
+		}
+	}
+	if got := sv.Values(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("not sorted: %v", got)
+	}
+	if sv.Min() != 1 || sv.Max() != 3 || sv.Len() != 3 {
+		t.Fatalf("min/max/len = %v/%v/%d", sv.Min(), sv.Max(), sv.Len())
+	}
+}
+
+func TestSortedEmpty(t *testing.T) {
+	sv := NewSorted(nil)
+	if !math.IsNaN(sv.Min()) || !math.IsNaN(sv.Max()) ||
+		!math.IsNaN(sv.Quantile(0.5)) || !math.IsNaN(sv.CDF(1)) {
+		t.Error("empty sample should yield NaN everywhere")
+	}
+}
+
+// TestSortedMatchesUnsortedKernels pins the refactor invariant: every
+// kernel reachable through a shared Sorted view returns bit-identical
+// results to the standalone entry point it replaced.
+func TestSortedMatchesUnsortedKernels(t *testing.T) {
+	xs := randomSample(5000, 7)
+	sv := NewSorted(xs)
+
+	for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := sv.Quantile(p), Quantile(xs, p); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+
+	plain := NewECDF(xs)
+	shared := NewECDFSorted(sv)
+	for x := -10.0; x < 500; x += 7.3 {
+		if got, want := shared.Eval(x), plain.Eval(x); got != want {
+			t.Errorf("ECDF(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := sv.CDF(x), plain.Eval(x); got != want {
+			t.Errorf("Sorted.CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+
+	mcPlain := NewMassCount(xs)
+	mcShared := NewMassCountSorted(sv)
+	i1, m1 := mcPlain.JointRatio()
+	i2, m2 := mcShared.JointRatio()
+	if i1 != i2 || m1 != m2 {
+		t.Errorf("JointRatio: plain %v/%v vs shared %v/%v", i1, m1, i2, m2)
+	}
+	if d1, d2 := mcPlain.MMDistance(), mcShared.MMDistance(); d1 != d2 {
+		t.Errorf("MMDistance: %v vs %v", d1, d2)
+	}
+}
+
+// TestSearchSemantics checks the monomorphic binary searches against
+// the sort-package formulations they replaced, NaN queries included.
+func TestSearchSemantics(t *testing.T) {
+	xs := []float64{1, 2, 2, 2, 5, 9}
+	queries := []float64{0, 1, 1.5, 2, 3, 5, 9, 10, math.Inf(1), math.Inf(-1), math.NaN()}
+	for _, q := range queries {
+		if got, want := searchGT(xs, q), sort.SearchFloat64s(xs, math.Nextafter(q, math.Inf(1))); got != want {
+			t.Errorf("searchGT(%v) = %d, want %d", q, got, want)
+		}
+		if got, want := searchGE(xs, q), sort.SearchFloat64s(xs, q); got != want {
+			t.Errorf("searchGE(%v) = %d, want %d", q, got, want)
+		}
+	}
+}

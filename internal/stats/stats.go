@@ -7,7 +7,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // ---------------------------------------------------------------------------
@@ -83,7 +83,7 @@ func Quantile(xs []float64, p float64) float64 {
 		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	return quantileSorted(sorted, p)
 }
 
@@ -107,50 +107,40 @@ func quantileSorted(sorted []float64, p float64) float64 {
 // ECDF
 
 // ECDF is an empirical cumulative distribution function over a fixed
-// sample. Construct with NewECDF.
+// sample. Construct with NewECDF, or NewECDFSorted to reuse an
+// existing sorted view.
 type ECDF struct {
-	sorted []float64
+	s *Sorted
 }
 
 // NewECDF copies and sorts the sample.
-func NewECDF(xs []float64) *ECDF {
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	return &ECDF{sorted: sorted}
-}
+func NewECDF(xs []float64) *ECDF { return &ECDF{s: NewSorted(xs)} }
+
+// NewECDFSorted wraps an existing sorted view without copying or
+// re-sorting.
+func NewECDFSorted(s *Sorted) *ECDF { return &ECDF{s: s} }
 
 // Len returns the sample size.
-func (e *ECDF) Len() int { return len(e.sorted) }
+func (e *ECDF) Len() int { return e.s.Len() }
 
 // Eval returns P(X <= x).
-func (e *ECDF) Eval(x float64) float64 {
-	if len(e.sorted) == 0 {
-		return math.NaN()
-	}
-	// Number of sample points <= x.
-	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
-	return float64(n) / float64(len(e.sorted))
-}
+func (e *ECDF) Eval(x float64) float64 { return e.s.CDF(x) }
 
 // Quantile returns the p-quantile of the sample.
-func (e *ECDF) Quantile(p float64) float64 {
-	if len(e.sorted) == 0 {
-		return math.NaN()
-	}
-	return quantileSorted(e.sorted, p)
-}
+func (e *ECDF) Quantile(p float64) float64 { return e.s.Quantile(p) }
 
 // Points returns up to n (x, F(x)) pairs spanning the sample range,
 // suitable for plotting the CDF curve.
 func (e *ECDF) Points(n int) (xs, ys []float64) {
-	if len(e.sorted) == 0 || n <= 0 {
+	sorted := e.s.Values()
+	if len(sorted) == 0 || n <= 0 {
 		return nil, nil
 	}
 	if n == 1 {
-		x := e.sorted[len(e.sorted)-1]
+		x := sorted[len(sorted)-1]
 		return []float64{x}, []float64{1}
 	}
-	lo, hi := e.sorted[0], e.sorted[len(e.sorted)-1]
+	lo, hi := sorted[0], sorted[len(sorted)-1]
 	xs = make([]float64, n)
 	ys = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -249,9 +239,14 @@ func NewMassCount(xs []float64) *MassCount {
 	if len(xs) == 0 {
 		return nil
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if sorted[0] < 0 {
+	return NewMassCountSorted(NewSorted(xs))
+}
+
+// NewMassCountSorted builds the disparity structure on an existing
+// sorted view, sharing its backing slice (no copy, no re-sort).
+func NewMassCountSorted(s *Sorted) *MassCount {
+	sorted := s.Values()
+	if len(sorted) == 0 || sorted[0] < 0 {
 		return nil
 	}
 	cum := make([]float64, len(sorted))
@@ -271,13 +266,12 @@ func (mc *MassCount) Len() int { return len(mc.sorted) }
 
 // CountCDF returns Fc(x), the fraction of items with size <= x.
 func (mc *MassCount) CountCDF(x float64) float64 {
-	n := sort.SearchFloat64s(mc.sorted, math.Nextafter(x, math.Inf(1)))
-	return float64(n) / float64(len(mc.sorted))
+	return float64(searchGT(mc.sorted, x)) / float64(len(mc.sorted))
 }
 
 // MassCDF returns Fm(x), the fraction of total mass in items <= x.
 func (mc *MassCount) MassCDF(x float64) float64 {
-	n := sort.SearchFloat64s(mc.sorted, math.Nextafter(x, math.Inf(1)))
+	n := searchGT(mc.sorted, x)
 	if n == 0 {
 		return 0
 	}
@@ -293,7 +287,7 @@ func (mc *MassCount) CountMedian() float64 {
 // items <= x (Fm^-1(0.5)).
 func (mc *MassCount) MassMedian() float64 {
 	half := mc.total / 2
-	i := sort.SearchFloat64s(mc.cumMass, half)
+	i := searchGE(mc.cumMass, half)
 	if i >= len(mc.sorted) {
 		i = len(mc.sorted) - 1
 	}
@@ -436,8 +430,8 @@ func KolmogorovSmirnov(xs, ys []float64) float64 {
 	}
 	a := append([]float64(nil), xs...)
 	b := append([]float64(nil), ys...)
-	sort.Float64s(a)
-	sort.Float64s(b)
+	slices.Sort(a)
+	slices.Sort(b)
 	var d float64
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -470,7 +464,7 @@ func Gini(xs []float64) float64 {
 		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	var cum, weighted float64
 	for i, x := range sorted {
 		cum += x

@@ -11,7 +11,7 @@ package synth
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/rng"
 )
@@ -67,7 +67,7 @@ func Arrivals(cfg ArrivalConfig, horizon int64, s *rng.Stream) []int64 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,7 +1,8 @@
 package synth
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/rng"
@@ -233,14 +234,14 @@ func GenerateGoogleTasks(cfg GoogleConfig, s *rng.Stream) []trace.Task {
 	if cfg.WarmStart {
 		tasks = append(tasks, warmServiceTasks(cfg, s.Child("warm"))...)
 	}
-	sort.Slice(tasks, func(i, j int) bool {
-		if tasks[i].Submit != tasks[j].Submit {
-			return tasks[i].Submit < tasks[j].Submit
+	slices.SortFunc(tasks, func(a, b trace.Task) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		if tasks[i].JobID != tasks[j].JobID {
-			return tasks[i].JobID < tasks[j].JobID
+		if a.JobID != b.JobID {
+			return cmp.Compare(a.JobID, b.JobID)
 		}
-		return tasks[i].Index < tasks[j].Index
+		return cmp.Compare(a.Index, b.Index)
 	})
 	return tasks
 }
@@ -372,11 +373,11 @@ func GoogleJobsFromTasks(tasks []trace.Task) []trace.Job {
 		}
 		out = append(out, j)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Submit != out[j].Submit {
-			return out[i].Submit < out[j].Submit
+	slices.SortFunc(out, func(a, b trace.Job) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

@@ -1,8 +1,9 @@
 package synth
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/gridsim"
@@ -77,11 +78,11 @@ func (g GridSystem) Generate(horizon int64, s *rng.Stream) []trace.Job {
 			MemAvg:    g.MemMB.Sample(body),
 		})
 	}
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].Submit != jobs[j].Submit {
-			return jobs[i].Submit < jobs[j].Submit
+	slices.SortFunc(jobs, func(a, b trace.Job) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return jobs[i].ID < jobs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return jobs
 }
@@ -151,11 +152,11 @@ func (g GridSystem) GenerateQueued(horizon int64, nodes int, s *rng.Stream) ([]t
 			MemAvg:    ex.mem,
 		})
 	}
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].Submit != jobs[j].Submit {
-			return jobs[i].Submit < jobs[j].Submit
+	slices.SortFunc(jobs, func(a, b trace.Job) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return jobs[i].ID < jobs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return jobs, res.Utilization, nil
 }

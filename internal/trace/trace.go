@@ -13,8 +13,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // EventType enumerates the task events of the Google trace.
@@ -266,29 +267,27 @@ type Trace struct {
 // SortEvents orders events by time, breaking ties by job, task and
 // event type so traces serialise deterministically.
 func (t *Trace) SortEvents() {
-	sort.Slice(t.Events, func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
+	slices.SortFunc(t.Events, func(a, b TaskEvent) int {
 		if a.Time != b.Time {
-			return a.Time < b.Time
+			return cmp.Compare(a.Time, b.Time)
 		}
 		if a.JobID != b.JobID {
-			return a.JobID < b.JobID
+			return cmp.Compare(a.JobID, b.JobID)
 		}
 		if a.TaskIndex != b.TaskIndex {
-			return a.TaskIndex < b.TaskIndex
+			return cmp.Compare(a.TaskIndex, b.TaskIndex)
 		}
-		return a.Type < b.Type
+		return cmp.Compare(a.Type, b.Type)
 	})
 }
 
 // SortJobs orders jobs by submission time then ID.
 func (t *Trace) SortJobs() {
-	sort.Slice(t.Jobs, func(i, j int) bool {
-		a, b := t.Jobs[i], t.Jobs[j]
+	slices.SortFunc(t.Jobs, func(a, b Job) int {
 		if a.Submit != b.Submit {
-			return a.Submit < b.Submit
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 
@@ -328,11 +327,11 @@ func (t *Trace) Validate() error {
 		events[k] = append(events[k], e)
 	}
 	for k, evs := range events {
-		sort.Slice(evs, func(i, j int) bool {
-			if evs[i].Time != evs[j].Time {
-				return evs[i].Time < evs[j].Time
+		slices.SortFunc(evs, func(a, b TaskEvent) int {
+			if a.Time != b.Time {
+				return cmp.Compare(a.Time, b.Time)
 			}
-			return evs[i].Type < evs[j].Type
+			return cmp.Compare(a.Type, b.Type)
 		})
 		var sm StateMachine
 		for _, e := range evs {
@@ -431,11 +430,11 @@ func JobsFromEvents(events []TaskEvent, usage []UsageSample) []Job {
 		}
 		out = append(out, j)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Submit != out[j].Submit {
-			return out[i].Submit < out[j].Submit
+	slices.SortFunc(out, func(a, b Job) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

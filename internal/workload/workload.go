@@ -6,8 +6,9 @@
 package workload
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -90,7 +91,16 @@ type MassCountSummary struct {
 // given sizes (Fig 4, Fig 9, Fig 11, Fig 12, Tables II-III). Returns
 // a zero summary for empty or degenerate input.
 func SummarizeMassCount(values []float64) MassCountSummary {
-	mc := stats.NewMassCount(values)
+	return SummarizeMassCountSorted(values, stats.NewSorted(values))
+}
+
+// SummarizeMassCountSorted is SummarizeMassCount for callers that
+// already hold a sorted view of values, avoiding a re-sort. The raw
+// slice is still consulted for the mean, whose floating-point sum is
+// order-sensitive, so the result is bit-identical to the unsorted
+// entry point.
+func SummarizeMassCountSorted(values []float64, sv *stats.Sorted) MassCountSummary {
+	mc := stats.NewMassCountSorted(sv)
 	if mc == nil {
 		return MassCountSummary{}
 	}
@@ -100,7 +110,7 @@ func SummarizeMassCount(values []float64) MassCountSummary {
 		JointMass:  mass,
 		MMDistance: mc.MMDistance(),
 		Mean:       stats.Mean(values),
-		Max:        stats.Max(values),
+		Max:        sv.Max(),
 		N:          len(values),
 	}
 }
@@ -116,7 +126,7 @@ func SubmissionIntervals(jobs []trace.Job) []float64 {
 	for i, j := range jobs {
 		times[i] = j.Submit
 	}
-	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	slices.Sort(times)
 	out := make([]float64, 0, len(times)-1)
 	for i := 1; i < len(times); i++ {
 		out = append(out, float64(times[i]-times[i-1]))
@@ -243,7 +253,7 @@ func UserShares(jobs []trace.Job, k int) (users int, topShare float64) {
 	for _, c := range counts {
 		perUser = append(perUser, c)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(perUser)))
+	slices.SortFunc(perUser, func(a, b int) int { return cmp.Compare(b, a) })
 	if k > len(perUser) {
 		k = len(perUser)
 	}
