@@ -5,11 +5,15 @@ GO ?= go
 # use BENCHTIME=1s for numbers worth committing.
 BENCHTIME ?= 100ms
 # Current benchmark snapshot file, and the newest committed one to
-# diff against.
-BENCH_OUT ?= BENCH_pr4.json
-BENCH_BASE ?= $(lastword $(sort $(filter-out $(BENCH_OUT),$(wildcard BENCH_pr*.json))))
+# diff against. The baseline must be picked by the *numeric* PR suffix:
+# make's $(sort) is lexical, so it would rank BENCH_pr10.json before
+# BENCH_pr2.json and silently diff against a stale snapshot once the
+# PR counter hits double digits. sort -t_ -k2.3 -n keys on the digits
+# after "BENCH_pr" instead.
+BENCH_OUT ?= BENCH_pr5.json
+BENCH_BASE ?= $(shell ls BENCH_pr*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -t_ -k2.3 -n | tail -n1)
 
-.PHONY: build test race bench verify repro-quick check bench-json bench-diff chaos
+.PHONY: build test race bench bench-parallel verify repro-quick check ci fmt-check bench-json bench-diff chaos
 
 build:
 	$(GO) build ./...
@@ -43,11 +47,15 @@ chaos:
 	$(GO) test -run 'TestSimulateCtx|TestSimulateFaultSite|TestPanicStops|TestForEachCtx' \
 		./internal/cluster ./internal/par
 
-# Full hygiene gate: formatting, vet, the race detector, the
-# instrumentation-never-changes-outputs invariant, and the chaos suite.
-check: chaos
+# Fail if any file needs gofmt. Kept as its own target so both make
+# check and the CI workflow gate on the exact same command.
+fmt-check:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# Full hygiene gate: formatting, vet, the race detector, the
+# instrumentation-never-changes-outputs invariant, and the chaos suite.
+check: fmt-check chaos
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'TestInstrumentationByteIdentical|TestInstrumentationDoesNotChangeResults' \
@@ -71,6 +79,13 @@ bench-json:
 # regressed beyond benchjson's threshold (10% by default).
 bench-diff: bench-json
 	$(GO) run ./cmd/benchjson -old $(BENCH_BASE) -new $(BENCH_OUT)
+
+# What .github/workflows/ci.yml runs, runnable locally so "CI is red"
+# never needs a push to debug. bench-diff is advisory there (a separate
+# continue-on-error job), so it is advisory here too: the leading dash
+# keeps a perf regression from masking a correctness failure.
+ci: fmt-check build test race chaos
+	-$(MAKE) bench-diff BENCH_OUT=/tmp/BENCH_ci.json
 
 repro-quick:
 	$(GO) run ./cmd/repro -scale quick

@@ -48,7 +48,6 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -448,7 +447,7 @@ func emitResult(stdout, stderr io.Writer, title string, res *core.Result, elapse
 		fmt.Fprintf(stdout, "  note: %s\n", note)
 	}
 	if verbose {
-		for _, k := range sortedKeys(res.Metrics) {
+		for _, k := range core.SortedMetricKeys(res.Metrics) {
 			fmt.Fprintf(stdout, "  metric %s = %.4g\n", k, res.Metrics[k])
 		}
 	}
@@ -472,66 +471,21 @@ func emitResult(stdout, stderr io.Writer, title string, res *core.Result, elapse
 	return 0
 }
 
-// sortedKeys returns the map's keys in ascending order.
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	slices.Sort(keys)
-	return keys
-}
-
 // writeMarkdownReport renders every result's tables, notes and metrics
-// as one Markdown document. The file is closed exactly once and a
-// close (flush) error is reported unless a write error precedes it.
+// as one Markdown document via the shared core renderer (the same one
+// the serving daemon uses, so -markdown files and served reports are
+// byte-identical for the same config). The file is closed exactly once
+// and a close (flush) error is reported unless a write error precedes
+// it.
 func writeMarkdownReport(path string, cfg core.Config, results []*core.Result, timing []report.TimingRow) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := renderMarkdownReport(f, cfg, results, timing)
+	werr := core.WriteMarkdownReport(f, cfg, results, timing)
 	cerr := f.Close()
 	if werr != nil {
 		return werr
 	}
 	return cerr
-}
-
-// renderMarkdownReport writes the report body.
-func renderMarkdownReport(f io.Writer, cfg core.Config, results []*core.Result, timing []report.TimingRow) error {
-	fmt.Fprintf(f, "# Reproduction report\n\n")
-	fmt.Fprintf(f, "Scale: %d machines, %.0f-day simulation, %.0f-day workload, seed %d.\n\n",
-		cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
-	for _, r := range results {
-		fmt.Fprintf(f, "## %s — %s\n\n", r.ID, r.Title)
-		if r.Failed() {
-			fmt.Fprintf(f, "**FAILED:** %s\n\n", r.Err)
-			continue
-		}
-		for _, tbl := range r.Tables {
-			if err := tbl.WriteMarkdown(f); err != nil {
-				return err
-			}
-			fmt.Fprintln(f)
-		}
-		for _, note := range r.Notes {
-			fmt.Fprintf(f, "> %s\n\n", note)
-		}
-		if len(r.Metrics) > 0 {
-			fmt.Fprintf(f, "<details><summary>metrics</summary>\n\n")
-			for _, k := range sortedKeys(r.Metrics) {
-				fmt.Fprintf(f, "- `%s` = %.4g\n", k, r.Metrics[k])
-			}
-			fmt.Fprintf(f, "\n</details>\n\n")
-		}
-	}
-	if len(timing) > 0 {
-		fmt.Fprintf(f, "## Timing\n\n")
-		if err := report.TimingTable(timing).WriteMarkdown(f); err != nil {
-			return err
-		}
-		fmt.Fprintln(f)
-	}
-	return nil
 }

@@ -1,0 +1,233 @@
+// Command reprod is the always-on serving counterpart of cmd/repro: a
+// long-running HTTP daemon exposing every experiment artifact of the
+// paper "Characterization and Comparison of Cloud versus Grid
+// Workloads" (CLUSTER 2012) as JSON, markdown, CSV and gnuplot .dat
+// endpoints.
+//
+// Usage:
+//
+//	reprod [-addr host:port] [-scale quick|full] [-seed n]
+//	       [-machines n] [-sim-days n] [-workload-days n]
+//	       [-checkpoint-dir dir] [-prewarm] [-max-inflight n]
+//	       [-max-queue n] [-max-contexts n] [-build-timeout d]
+//	       [-drain-timeout d] [-metrics-out file]
+//
+// Endpoints (see README "Serving" for the full table): /healthz,
+// /metrics (JSONL registry snapshot), /v1/experiments, /v1/report,
+// /v1/artifacts/{id} (?format=json|md), /v1/artifacts/{id}/tables/{t}
+// (CSV), /v1/artifacts/{id}/series/{s} (.dat). Artifact routes accept
+// ?seed=&machines=&days=&workload_days= scenario overrides, served
+// from an LRU of per-config contexts with a hard cap (-max-contexts).
+//
+// Concurrent requests for the same cold artifact are coalesced into
+// one build; -checkpoint-dir warm-starts from (and feeds) the same
+// checkpoint files cmd/repro writes, so a restart serves from disk
+// instead of re-simulating; -prewarm builds every base-scenario
+// artifact in the background after the listener is up.
+//
+// SIGINT/SIGTERM drain gracefully: new requests get 503 immediately,
+// in-flight ones finish, and the process exits 0 once idle (or 1 if
+// -drain-timeout expires or a second signal forces shutdown).
+// Determinism contract: for the same config, every served body is
+// byte-identical to the artifact cmd/repro writes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable body of the daemon. When ready is non-nil it
+// receives the bound listen address once the server is accepting —
+// tests pass it to learn the ephemeral port of -addr host:0.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "listen address")
+		scale        = fs.String("scale", "quick", "base scenario scale: quick or full")
+		seed         = fs.Uint64("seed", 0, "override base scenario seed")
+		machines     = fs.Int("machines", 0, "override base simulated machine count")
+		simDays      = fs.Int("sim-days", 0, "override base simulation horizon (days)")
+		workloadDays = fs.Int("workload-days", 0, "override base workload horizon (days)")
+		ckptDir      = fs.String("checkpoint-dir", "", "warm-start artifacts from (and persist them to) this directory")
+		prewarm      = fs.Bool("prewarm", false, "build every base-scenario artifact in the background at startup")
+		maxInflight  = fs.Int("max-inflight", 0, "admission gate: concurrent artifact requests (0 = GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 64, "admission gate: queued requests before 429")
+		maxContexts  = fs.Int("max-contexts", 8, "hard cap on cached per-scenario contexts (LRU)")
+		buildTimeout = fs.Duration("build-timeout", 0, "per-artifact build deadline (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for in-flight requests")
+		metricsOut   = fs.String("metrics-out", "", "write the metrics registry and spans as JSONL here at shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := core.QuickConfig()
+	if *scale == "full" {
+		cfg = core.DefaultConfig()
+	} else if *scale != "quick" {
+		fmt.Fprintf(stderr, "reprod: unknown scale %q\n", *scale)
+		return 2
+	}
+	// Same override semantics as cmd/repro: explicit flags win, and an
+	// explicit non-positive value is an error, not an ignored default.
+	passed := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { passed[f.Name] = true })
+	if passed["seed"] {
+		cfg.Seed = *seed
+	}
+	for _, p := range []struct {
+		name string
+		val  int
+		set  func(int)
+	}{
+		{"machines", *machines, func(n int) { cfg.Machines = n }},
+		{"sim-days", *simDays, func(n int) { cfg.SimHorizon = int64(n) * 86400 }},
+		{"workload-days", *workloadDays, func(n int) { cfg.WorkloadHorizon = int64(n) * 86400 }},
+	} {
+		if !passed[p.name] {
+			continue
+		}
+		if p.val <= 0 {
+			fmt.Fprintf(stderr, "reprod: -%s must be positive, got %d\n", p.name, p.val)
+			return 2
+		}
+		p.set(p.val)
+	}
+	if *maxQueue < 0 || *maxContexts < 1 {
+		fmt.Fprintf(stderr, "reprod: -max-queue must be >= 0 and -max-contexts >= 1\n")
+		return 2
+	}
+	if *buildTimeout < 0 || *drainTimeout < 0 {
+		fmt.Fprintf(stderr, "reprod: timeouts must be non-negative\n")
+		return 2
+	}
+
+	rec := obs.NewRecorder()
+	var store *ckpt.Store
+	if *ckptDir != "" {
+		var err error
+		if store, err = ckpt.NewStore(*ckptDir, rec.Registry()); err != nil {
+			fmt.Fprintf(stderr, "reprod: %v\n", err)
+			return 1
+		}
+	}
+
+	// rootCtx is the server's lifetime: artifact builds run under it, so
+	// it stays alive through a graceful drain and is cancelled only when
+	// the drain times out or a second signal demands a hard stop.
+	rootCtx, cancelRoot := context.WithCancelCause(context.Background())
+	defer cancelRoot(nil)
+
+	srv := serve.New(serve.Config{
+		Base:         cfg,
+		Store:        store,
+		Rec:          rec,
+		BaseContext:  rootCtx,
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		MaxContexts:  *maxContexts,
+		BuildTimeout: *buildTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprod: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(stderr, "reprod: serving on http://%s (scale: %d machines, %.0fd sim, %.0fd workload, seed %d)\n",
+		ln.Addr(), cfg.Machines, float64(cfg.SimHorizon)/86400, float64(cfg.WorkloadHorizon)/86400, cfg.Seed)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	if *prewarm {
+		go func() {
+			n, err := srv.Prewarm(rootCtx)
+			if err != nil {
+				fmt.Fprintf(stderr, "reprod: prewarm stopped after %d artifacts: %v\n", n, err)
+				return
+			}
+			fmt.Fprintf(stderr, "reprod: prewarmed %d artifacts\n", n)
+		}()
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	code := 0
+	select {
+	case err := <-serveErr:
+		// The listener died underneath us without a signal.
+		fmt.Fprintf(stderr, "reprod: %v\n", err)
+		code = 1
+	case s := <-sigCh:
+		fmt.Fprintf(stderr, "reprod: received %v, draining (in-flight requests finish, new ones get 503)\n", s)
+		srv.BeginDrain()
+		shCtx, shCancel := context.WithTimeout(context.Background(), *drainTimeout)
+		shutdownDone := make(chan error, 1)
+		go func() { shutdownDone <- httpSrv.Shutdown(shCtx) }()
+		select {
+		case err := <-shutdownDone:
+			if err != nil {
+				fmt.Fprintf(stderr, "reprod: drain timed out (%v), forcing shutdown\n", err)
+				cancelRoot(fmt.Errorf("drain timed out"))
+				httpSrv.Close()
+				code = 1
+			} else {
+				fmt.Fprintf(stderr, "reprod: drained cleanly\n")
+			}
+		case s2 := <-sigCh:
+			fmt.Fprintf(stderr, "reprod: received %v again, forcing shutdown\n", s2)
+			cancelRoot(fmt.Errorf("interrupted twice by %v then %v", s, s2))
+			httpSrv.Close()
+			<-shutdownDone
+			code = 1
+		}
+		shCancel()
+	}
+	cancelRoot(nil)
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			werr := rec.WriteMetricsJSONL(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			err = werr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "reprod: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(stderr, "wrote metrics to %s\n", *metricsOut)
+		}
+	}
+	return code
+}

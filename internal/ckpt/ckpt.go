@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 
 	"repro/internal/obs"
@@ -92,6 +93,30 @@ func (s *Store) count(name string) {
 
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".ckpt")
+}
+
+// Keys lists the content-address keys currently on disk, sorted. The
+// serving daemon's /healthz reports the count as its warm-start
+// inventory. In-flight temp files and foreign names are skipped; a
+// disabled store has no keys.
+func (s *Store) Keys() ([]string, error) {
+	if !s.Enabled() {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read dir: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ckpt") || strings.HasPrefix(name, "tmp-") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".ckpt"))
+	}
+	slices.Sort(keys)
+	return keys, nil
 }
 
 // Save marshals v as JSON and atomically writes it under key.

@@ -3,6 +3,7 @@ package ckpt
 import (
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -238,5 +239,39 @@ func TestTrailingBytesRejected(t *testing.T) {
 	}
 	if err == nil || !strings.Contains(err.Error(), "trailing") {
 		t.Fatalf("err = %v, want trailing-bytes rejection", err)
+	}
+}
+
+func TestKeysListsOnlyCheckpoints(t *testing.T) {
+	s, _ := testStore(t)
+	for _, k := range []string{Key("b"), Key("a")} {
+		if err := s.Save(k, payload{Name: k}); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	// Noise the listing must skip: an in-flight temp file, a foreign
+	// file, and a subdirectory.
+	for _, name := range []string{"tmp-123.ckpt", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(s.Dir(), "sub.ckpt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	want := []string{Key("a"), Key("b")}
+	slices.Sort(want)
+	if !slices.Equal(keys, want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+
+	var nilStore *Store
+	if keys, err := nilStore.Keys(); keys != nil || err != nil {
+		t.Fatalf("nil store Keys = %v, %v; want nil, nil", keys, err)
 	}
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// RunOne executes a single experiment through the same layers the
+// batch runner applies — checkpoint lookup, panic isolation, an
+// optional per-run deadline, checkpoint write-back — without a worker
+// pool. It is the serving daemon's entry point: each HTTP request for
+// a cold artifact becomes exactly one RunOne behind the request
+// coalescer, and a store warmed by an earlier CLI run (the keys are
+// shared via CheckpointKey) answers from disk without re-simulating.
+//
+// The error, like RunExperiments', is wrapped "core: <id>: ...";
+// context cancellation surfaces unwrapped causes via errors.Is. A
+// checkpoint hit bypasses the build entirely, so it records no
+// core.cell.* activity and no experiment span.
+func RunOne(ctx context.Context, c *Context, e Experiment, timeout time.Duration, store *ckpt.Store) (*Result, error) {
+	rec := c.Recorder()
+	if store.Enabled() {
+		var cached Result
+		if ok, _ := store.Load(CheckpointKey(c.Cfg, e.ID), &cached); ok && cached.ID == e.ID {
+			return &cached, nil
+		}
+	}
+	sp := rec.Span("exp:"+e.ID, obs.CatExperiment, obs.AutoTID)
+	r, err := runExperimentProtected(ctx, c, e, timeout)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", e.ID, err)
+	}
+	if store.Enabled() && !r.Failed() {
+		// Best-effort, exactly like the batch runner: an unwritable
+		// artifact is simply not checkpointed (ckpt.skip counts it).
+		_ = store.Save(CheckpointKey(c.Cfg, e.ID), r)
+	}
+	return r, nil
+}

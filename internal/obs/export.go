@@ -8,16 +8,41 @@ import (
 	"slices"
 )
 
+// encodeSnapshot streams every metric in the registry's stable
+// snapshot order through enc, one object per call.
+func (r *Registry) encodeSnapshot(enc *json.Encoder) error {
+	for _, m := range r.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return fmt.Errorf("obs: encode metric %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the registry's current metric snapshot as JSONL
+// (one counter/gauge/histogram object per line) — the wire format of
+// the serving daemon's /metrics endpoint, which exports metrics only:
+// a long-running process snapshots its registry on demand without
+// dragging the span buffer along. A nil registry writes nothing.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if err := r.encodeSnapshot(json.NewEncoder(bw)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // WriteMetricsJSONL writes the registry snapshot followed by every
 // span, one JSON object per line. Metric lines carry "type"
 // counter/gauge/histogram; span lines carry "type":"span".
 func (r *Recorder) WriteMetricsJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw) // Encode appends the newline JSONL needs
-	for _, m := range r.Registry().Snapshot() {
-		if err := enc.Encode(m); err != nil {
-			return fmt.Errorf("obs: encode metric %s: %w", m.Name, err)
-		}
+	if err := r.Registry().encodeSnapshot(enc); err != nil {
+		return err
 	}
 	for _, sp := range r.Spans() {
 		line := struct {

@@ -204,3 +204,35 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatalf("got %d metadata events, want >= 3", metaEvents)
 	}
 }
+
+func TestRegistryWriteJSONL(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.req.total").Add(3)
+	reg.Gauge("serve.ctx.live").Set(2)
+	reg.Histogram("serve.gate.wait_seconds", []float64{0.1, 1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var m MetricSnapshot
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not a metric snapshot: %v", line, err)
+		}
+	}
+	// Snapshot order is (type, name), so the export is stable.
+	if !strings.Contains(lines[0], "serve.req.total") {
+		t.Errorf("first line %q, want the counter", lines[0])
+	}
+
+	var nilReg *Registry
+	buf.Reset()
+	if err := nilReg.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry WriteJSONL: err=%v wrote %d bytes, want silent no-op", err, buf.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// group is a minimal singleflight: concurrent Do calls with the same
+// key share one execution of fn. The execution runs on its own
+// goroutine under the server's lifetime context, never a request's, so
+// a waiter (or even the request that triggered the build) abandoning
+// early leaves the build running to completion — the next request gets
+// the finished artifact instead of a torn one. This is what turns N
+// concurrent cold requests into exactly one core.cell.*.miss.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one in-flight execution; done closes after val/err are set.
+// waiters counts the duplicate callers currently parked on done — the
+// coalescing tests poll it to know every concurrent request has truly
+// joined the flight before letting the build finish.
+type call struct {
+	done    chan struct{}
+	waiters atomic.Int32
+	val     any
+	err     error
+}
+
+// waiting reports how many duplicate callers are parked on key's
+// in-flight call (0 when no call is in flight).
+func (g *group) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return int(c.waiters.Load())
+	}
+	return 0
+}
+
+// Do returns fn's result for key, running it at most once across all
+// concurrent callers. shared reports whether this caller piggybacked
+// on an execution another caller started. ctx bounds only this
+// caller's wait: its cancellation abandons the wait with the context's
+// cause, the execution itself is unaffected.
+func (g *group) Do(ctx context.Context, key string, fn func() (any, error)) (v any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.waiters.Add(1)
+		defer c.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, context.Cause(ctx)
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			// Belt and braces: fn (core.RunOne) already isolates
+			// experiment panics, but a panic escaping the coalescer
+			// would strand every waiter on a never-closed channel.
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("serve: coalesced build %q panicked: %v", key, r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, false, c.err
+	case <-ctx.Done():
+		return nil, false, context.Cause(ctx)
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrSaturated is returned by Gate.Acquire when both the concurrency
+// slots and the wait queue are full; the HTTP layer maps it to 429 so
+// overload sheds load at admission instead of queueing unboundedly.
+var ErrSaturated = errors.New("serve: admission queue full")
+
+// gateDepthUppers buckets the queue depth observed at enqueue time.
+var gateDepthUppers = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+// gateWaitUppers buckets how long an admitted request waited for a
+// slot (seconds).
+var gateWaitUppers = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30}
+
+// Gate is the daemon's bounded-concurrency admission controller: at
+// most maxInflight requests hold a slot at once, at most maxQueue more
+// wait for one, and everything beyond that is rejected immediately
+// with ErrSaturated. Queue depth, wait latency, rejections and
+// occupancy are wired into the metrics registry:
+//
+//	serve.gate.queue_depth   histogram, depth seen at enqueue
+//	serve.gate.wait_seconds  histogram, time queued before admission
+//	serve.gate.rejected      counter
+//	serve.gate.inflight      gauge, slots currently held
+//	serve.gate.queued        gauge, requests currently waiting
+type Gate struct {
+	slots    chan struct{}
+	maxQueue int
+
+	mu      sync.Mutex
+	waiting int
+
+	rejected *obs.Counter
+	depth    *obs.Histogram
+	wait     *obs.Histogram
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+}
+
+// NewGate builds a gate admitting maxInflight concurrent holders (<= 0
+// means GOMAXPROCS) with a wait queue of maxQueue (< 0 means 0: no
+// queue, reject as soon as the slots fill). reg may be nil.
+func NewGate(maxInflight, maxQueue int, reg *obs.Registry) *Gate {
+	if maxInflight <= 0 {
+		maxInflight = runtime.GOMAXPROCS(0)
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: maxQueue,
+		rejected: reg.Counter("serve.gate.rejected"),
+		depth:    reg.Histogram("serve.gate.queue_depth", gateDepthUppers),
+		wait:     reg.Histogram("serve.gate.wait_seconds", gateWaitUppers),
+		inflight: reg.Gauge("serve.gate.inflight"),
+		queued:   reg.Gauge("serve.gate.queued"),
+	}
+}
+
+// Acquire claims a slot, waiting in the bounded queue if none is free.
+// It returns nil once admitted (the caller must Release exactly once),
+// ErrSaturated when the queue is full, or the context's cause when the
+// caller gave up while queued.
+func (g *Gate) Acquire(ctx context.Context) error {
+	// Fast path: a free slot admits without touching the queue lock.
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		g.depth.Observe(0)
+		return nil
+	default:
+	}
+
+	g.mu.Lock()
+	if g.waiting >= g.maxQueue {
+		g.mu.Unlock()
+		g.rejected.Add(1)
+		return ErrSaturated
+	}
+	g.waiting++
+	depth := g.waiting
+	g.mu.Unlock()
+	g.queued.Add(1)
+	g.depth.Observe(float64(depth))
+
+	start := time.Now()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+		g.queued.Add(-1)
+		g.wait.Observe(time.Since(start).Seconds())
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// Release frees a slot claimed by a successful Acquire.
+func (g *Gate) Release() {
+	<-g.slots
+	g.inflight.Add(-1)
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// contextLRU caps how many per-scenario entries (each owning a
+// core.Context whose cells hold the heavyweight memoized artifacts)
+// the daemon keeps alive. The scenario route lets any request mint a
+// new config, so without a hard cap a scan of ?seed=1..N would pin N
+// simulations in memory; with it, the least-recently-used scenario is
+// dropped and rebuilds (or reloads from checkpoint) on its next use.
+//
+//	serve.ctx.live    gauge, entries currently cached
+//	serve.ctx.evicted counter, entries dropped over the cap
+type contextLRU struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	live    *obs.Gauge
+	evicted *obs.Counter
+}
+
+// lruItem is one cached scenario keyed by its canonical config string.
+type lruItem struct {
+	key string
+	e   *entry
+}
+
+// newContextLRU builds an LRU holding at most cap entries (minimum 1).
+func newContextLRU(cap int, reg *obs.Registry) *contextLRU {
+	if cap < 1 {
+		cap = 1
+	}
+	return &contextLRU{
+		cap:     cap,
+		ll:      list.New(),
+		m:       make(map[string]*list.Element),
+		live:    reg.Gauge("serve.ctx.live"),
+		evicted: reg.Counter("serve.ctx.evicted"),
+	}
+}
+
+// getOrCreate returns the entry cached under key, making it the most
+// recently used, or installs mk()'s entry and evicts past the cap. An
+// evicted entry is simply unlinked: builds already running against it
+// finish against its (now unreachable) cells and are garbage collected
+// together with it.
+func (l *contextLRU) getOrCreate(key string, mk func() *entry) *entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.m[key]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruItem).e
+	}
+	e := mk()
+	l.m[key] = l.ll.PushFront(&lruItem{key: key, e: e})
+	for l.ll.Len() > l.cap {
+		back := l.ll.Back()
+		l.ll.Remove(back)
+		delete(l.m, back.Value.(*lruItem).key)
+		l.evicted.Add(1)
+	}
+	l.live.Set(float64(l.ll.Len()))
+	return e
+}
+
+// len reports how many entries are cached.
+func (l *contextLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}

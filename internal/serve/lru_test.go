@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestContextLRUCapsAndRecency(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := newContextLRU(2, reg)
+	made := 0
+	mk := func() *entry { made++; return &entry{} }
+
+	a := l.getOrCreate("a", mk)
+	b := l.getOrCreate("b", mk)
+	if l.getOrCreate("a", mk) != a {
+		t.Fatal("second lookup of a minted a new entry")
+	}
+	// a was just refreshed, so adding c must evict b, not a.
+	l.getOrCreate("c", mk)
+	if l.getOrCreate("a", mk) != a {
+		t.Error("a evicted despite being most recently used")
+	}
+	if nb := l.getOrCreate("b", mk); nb == b {
+		t.Error("b survived past the cap")
+	}
+	if made != 4 { // a, b, c, then b again
+		t.Errorf("mk ran %d times, want 4", made)
+	}
+	if got := reg.Counter("serve.ctx.evicted").Value(); got < 2 {
+		t.Errorf("evicted counter = %d, want >= 2", got)
+	}
+	if l.len() != 2 {
+		t.Errorf("len = %d, want 2", l.len())
+	}
+}
+
+func TestContextLRUMinimumCapacity(t *testing.T) {
+	l := newContextLRU(0, nil)
+	for i := 0; i < 3; i++ {
+		l.getOrCreate(fmt.Sprintf("k%d", i), func() *entry { return &entry{} })
+	}
+	if l.len() != 1 {
+		t.Errorf("len = %d, want 1 (cap clamps to 1)", l.len())
+	}
+}

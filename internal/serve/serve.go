@@ -1,0 +1,563 @@
+// Package serve is the artifact-serving layer of the reproduction: a
+// long-running HTTP daemon that exposes every experiment artifact —
+// figures, tables, metric summaries, full markdown reports — on top of
+// the existing core.Context lazy-cell cache.
+//
+// The request path is: drain check → admission gate (bounded
+// concurrency + bounded queue, 429 beyond) → per-scenario context
+// lookup (LRU with a hard cap, keyed by the canonical config) →
+// singleflight coalescer (N concurrent requests for a cold artifact
+// run core.RunOne exactly once, observable as a single
+// core.cell.*.miss) → deterministic render. Builds run under the
+// server's lifetime context, so a disconnecting client never aborts a
+// build other requests are waiting on; checkpoint stores created by
+// cmd/repro -checkpoint-dir warm-start the daemon, because RunOne
+// shares core.CheckpointKey with the batch runner.
+//
+// Determinism contract: for the same config, the bytes served here are
+// byte-identical to the artifacts cmd/repro writes — CSV via the same
+// report.Table encoder, .dat via the same report.Series encoder,
+// markdown via the same core.WriteMarkdownReport — enforced by
+// TestServedBytesIdentical.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Scenario-parameter guard rails: the query route lets anyone ask for
+// an arbitrary config, so bound it to something a single daemon can
+// actually simulate rather than letting one URL OOM the process.
+const (
+	maxMachinesParam = 50000
+	maxDaysParam     = 366
+)
+
+// Defaults for the operational knobs (0 in Config selects them).
+const (
+	defaultMaxQueue    = 64
+	defaultMaxContexts = 8
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Base is the scenario served when a request carries no overrides;
+	// query parameters derive variants from it.
+	Base core.Config
+
+	// Experiments overrides the artifact registry (tests inject stubs
+	// here). nil serves the paper set plus the extensions, with the
+	// default report covering the paper set only — exactly what an
+	// uninstrumented `repro -markdown` emits.
+	Experiments []core.Experiment
+
+	// Store, when enabled, warm-starts artifacts from checkpoints and
+	// writes new builds back, so a restart serves from disk instead of
+	// re-simulating. Keys are shared with cmd/repro -checkpoint-dir.
+	Store *ckpt.Store
+
+	// Rec receives cell/build/experiment instrumentation from every
+	// context the daemon creates. nil allocates a fresh recorder.
+	Rec *obs.Recorder
+
+	// BaseContext is the server's lifetime context: artifact builds run
+	// under it (never under a single request), so cancelling it is the
+	// hard stop that aborts in-flight builds. nil means Background.
+	BaseContext context.Context
+
+	// MaxInflight bounds concurrently admitted artifact requests
+	// (<= 0: GOMAXPROCS); MaxQueue bounds how many more may wait
+	// (0: default 64; negative: no queue).
+	MaxInflight int
+	MaxQueue    int
+
+	// MaxContexts caps the scenario LRU (0: default 8).
+	MaxContexts int
+
+	// BuildTimeout, when positive, is the per-artifact build deadline.
+	BuildTimeout time.Duration
+}
+
+// Server is the daemon. Create it with New; it is safe for concurrent
+// use by any number of HTTP requests.
+type Server struct {
+	base         core.Config
+	baseCtx      context.Context
+	rec          *obs.Recorder
+	reg          *obs.Registry
+	store        *ckpt.Store
+	gate         *Gate
+	lru          *contextLRU
+	buildTimeout time.Duration
+
+	exps       map[string]core.Experiment
+	allList    []core.Experiment // every servable artifact, registry order
+	reportList []core.Experiment // default /v1/report set
+	extList    []core.Experiment // appended with ?extensions=1
+
+	mux      *http.ServeMux
+	draining atomic.Bool
+	start    time.Time
+
+	reqTotal    *obs.Counter
+	reqInflight *obs.Gauge
+	reqLatency  *obs.Histogram
+	coShared    *obs.Counter
+	artifactHit *obs.Counter
+}
+
+// entry is one cached scenario: the shared core.Context whose lazy
+// cells memoize the heavy artifacts, a singleflight group coalescing
+// concurrent builds per experiment, and the finished results.
+type entry struct {
+	cctx *core.Context
+	sf   group
+
+	mu      sync.RWMutex
+	results map[string]*core.Result
+}
+
+// reqLatencyUppers buckets whole-request wall time (seconds).
+var reqLatencyUppers = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// New assembles a server from cfg.
+func New(cfg Config) *Server {
+	rec := cfg.Rec
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+	reg := rec.Registry()
+	baseCtx := cfg.BaseContext
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = defaultMaxQueue
+	}
+	maxContexts := cfg.MaxContexts
+	if maxContexts <= 0 {
+		maxContexts = defaultMaxContexts
+	}
+	s := &Server{
+		base:         cfg.Base,
+		baseCtx:      baseCtx,
+		rec:          rec,
+		reg:          reg,
+		store:        cfg.Store,
+		gate:         NewGate(cfg.MaxInflight, maxQueue, reg),
+		lru:          newContextLRU(maxContexts, reg),
+		buildTimeout: cfg.BuildTimeout,
+		exps:         make(map[string]core.Experiment),
+		start:        time.Now(),
+		reqTotal:     reg.Counter("serve.req.total"),
+		reqInflight:  reg.Gauge("serve.req.inflight"),
+		reqLatency:   reg.Histogram("serve.req.latency_seconds", reqLatencyUppers),
+		coShared:     reg.Counter("serve.coalesce.shared"),
+		artifactHit:  reg.Counter("serve.artifact.hit"),
+	}
+	if cfg.Experiments != nil {
+		s.allList = cfg.Experiments
+		s.reportList = cfg.Experiments
+	} else {
+		s.reportList = core.Experiments()
+		s.extList = core.Extensions()
+		s.allList = append(append([]core.Experiment(nil), s.reportList...), s.extList...)
+	}
+	for _, e := range s.allList {
+		s.exps[e.ID] = e
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/artifacts/{id}/tables/{table}", s.handleTable)
+	s.mux.HandleFunc("GET /v1/artifacts/{id}/series/{series}", s.handleSeries)
+	return s
+}
+
+// Handler returns the daemon's root handler: request accounting and
+// the drain check in front of the route mux.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqTotal.Add(1)
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining: not accepting new requests")
+			return
+		}
+		s.reqInflight.Add(1)
+		start := time.Now()
+		defer func() {
+			s.reqInflight.Add(-1)
+			s.reqLatency.Observe(time.Since(start).Seconds())
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// BeginDrain flips the server into drain mode: every subsequent
+// request — including /healthz, so load balancers stop routing here —
+// gets 503 while requests already past the check run to completion.
+// The caller follows up with http.Server.Shutdown to wait for them.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Prewarm builds (or loads from the checkpoint store) every registered
+// artifact for the base scenario, in registry order, and returns how
+// many are warm. It is meant to run in the background after the
+// listener is up: requests arriving mid-warm simply coalesce with it.
+func (s *Server) Prewarm(ctx context.Context) (int, error) {
+	e := s.entryFor(s.base)
+	for i, exp := range s.allList {
+		if _, err := s.result(ctx, e, exp); err != nil {
+			return i, err
+		}
+	}
+	return len(s.allList), nil
+}
+
+// entryFor returns the scenario entry for cfg, creating (and LRU-ing)
+// it as needed.
+func (s *Server) entryFor(cfg core.Config) *entry {
+	return s.lru.getOrCreate(cfg.Canonical(), func() *entry {
+		c := core.NewContext(cfg)
+		c.SetRecorder(s.rec)
+		return &entry{cctx: c, results: make(map[string]*core.Result)}
+	})
+}
+
+// result returns exp's artifact for the entry's scenario, serving the
+// memoized result when warm and otherwise coalescing all concurrent
+// cold requests into one core.RunOne under the server's lifetime
+// context. ctx is the requester's wait budget only.
+func (s *Server) result(ctx context.Context, e *entry, exp core.Experiment) (*core.Result, error) {
+	e.mu.RLock()
+	r, ok := e.results[exp.ID]
+	e.mu.RUnlock()
+	if ok {
+		s.artifactHit.Add(1)
+		return r, nil
+	}
+	v, shared, err := e.sf.Do(ctx, exp.ID, func() (any, error) {
+		res, err := core.RunOne(s.baseCtx, e.cctx, exp, s.buildTimeout, s.store)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.results[exp.ID] = res
+		e.mu.Unlock()
+		return res, nil
+	})
+	if shared {
+		s.coShared.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Result), nil
+}
+
+// configFor derives the request's scenario from the base config and
+// the query overrides ?seed=&machines=&days=&workload_days=, bounded
+// by the parameter guard rails.
+func (s *Server) configFor(q url.Values) (core.Config, error) {
+	cfg := s.base
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("seed: %q is not a uint64", v)
+		}
+		cfg.Seed = n
+	}
+	intParam := func(name string, max int) (int, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > max {
+			return 0, false, fmt.Errorf("%s: want an integer in [1, %d], got %q", name, max, v)
+		}
+		return n, true, nil
+	}
+	if n, ok, err := intParam("machines", maxMachinesParam); err != nil {
+		return cfg, err
+	} else if ok {
+		cfg.Machines = n
+	}
+	if n, ok, err := intParam("days", maxDaysParam); err != nil {
+		return cfg, err
+	} else if ok {
+		cfg.SimHorizon = int64(n) * 86400
+	}
+	if n, ok, err := intParam("workload_days", maxDaysParam); err != nil {
+		return cfg, err
+	} else if ok {
+		cfg.WorkloadHorizon = int64(n) * 86400
+	}
+	return cfg, nil
+}
+
+// admit passes the request through the gate, writing the rejection
+// (429 on saturation, the context cause otherwise) itself. On true the
+// caller holds a slot and must gate.Release.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := s.gate.Acquire(r.Context())
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, ErrSaturated) {
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	} else {
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("admission wait aborted: %v", err))
+	}
+	return false
+}
+
+// healthStatus is the /healthz payload.
+type healthStatus struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Experiments   int     `json:"experiments"`
+	Contexts      int     `json:"contexts"`
+	Checkpoints   int     `json:"checkpoints"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	keys, _ := s.store.Keys() // best-effort: an unreadable dir reads as 0 warm
+	writeJSON(w, http.StatusOK, healthStatus{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Experiments:   len(s.allList),
+		Contexts:      s.lru.len(),
+		Checkpoints:   len(keys),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// A write error here means the client went away mid-snapshot;
+	// there is nobody left to report it to.
+	_ = s.reg.WriteJSONL(w)
+}
+
+// experimentInfo is one /v1/experiments row.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	infos := make([]experimentInfo, len(s.allList))
+	for i, e := range s.allList {
+		infos[i] = experimentInfo{ID: e.ID, Title: e.Title}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.exps[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", r.PathValue("id")))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "md" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("format: want json or md, got %q", format))
+		return
+	}
+	res, ok := s.buildFor(w, r, exp)
+	if !ok {
+		return
+	}
+	if format == "md" {
+		var buf bytes.Buffer
+		if err := core.WriteResultMarkdown(&buf, res); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeBytes(w, "text/markdown; charset=utf-8", buf.Bytes())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.exps[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", r.PathValue("id")))
+		return
+	}
+	res, ok := s.buildFor(w, r, exp)
+	if !ok {
+		return
+	}
+	want := r.PathValue("table")
+	for _, tbl := range res.Tables {
+		if tbl.ID != want {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeBytes(w, "text/csv; charset=utf-8", buf.Bytes())
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("experiment %s has no table %q", exp.ID, want))
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.exps[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", r.PathValue("id")))
+		return
+	}
+	res, ok := s.buildFor(w, r, exp)
+	if !ok {
+		return
+	}
+	want := r.PathValue("series")
+	for _, ser := range res.Series {
+		if ser.ID != want {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := ser.WriteDAT(&buf); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeBytes(w, "text/plain; charset=utf-8", buf.Bytes())
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("experiment %s has no series %q", exp.ID, want))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format != "" && format != "json" && format != "md" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("format: want json or md, got %q", format))
+		return
+	}
+	exps := s.reportList
+	if v := q.Get("extensions"); v == "1" || v == "true" {
+		exps = append(append([]core.Experiment(nil), exps...), s.extList...)
+	}
+	cfg, err := s.configFor(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.Release()
+	e := s.entryFor(cfg)
+	results := make([]*core.Result, len(exps))
+	for i, exp := range exps {
+		res, err := s.result(r.Context(), e, exp)
+		if err != nil {
+			s.writeBuildError(w, err)
+			return
+		}
+		results[i] = res
+	}
+	if format == "json" {
+		writeJSON(w, http.StatusOK, results)
+		return
+	}
+	var buf bytes.Buffer
+	// nil timing on purpose: served reports match uninstrumented CLI
+	// reports byte for byte.
+	if err := core.WriteMarkdownReport(&buf, cfg, results, nil); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBytes(w, "text/markdown; charset=utf-8", buf.Bytes())
+}
+
+// buildFor is the shared scenario-parse → admission → coalesced-build
+// prefix of every artifact handler. ok=false means the response has
+// already been written.
+func (s *Server) buildFor(w http.ResponseWriter, r *http.Request, exp core.Experiment) (*core.Result, bool) {
+	cfg, err := s.configFor(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	if !s.admit(w, r) {
+		return nil, false
+	}
+	defer s.gate.Release()
+	res, err := s.result(r.Context(), s.entryFor(cfg), exp)
+	if err != nil {
+		s.writeBuildError(w, err)
+		return nil, false
+	}
+	return res, true
+}
+
+// writeBuildError maps a build failure onto a status: deadline → 504,
+// cancellation (requester gone or server stopping) → 503, anything
+// else → 500.
+func (s *Server) writeBuildError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeJSON marshals v and writes it with status. Marshal failures
+// (impossible for the fixed payload types short of NaN metrics) become
+// a 500 before any body byte is written.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// writeBytes writes a fully rendered body with its content type.
+func writeBytes(w http.ResponseWriter, contentType string, b []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Write(b)
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
