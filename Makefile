@@ -10,7 +10,7 @@ BENCHTIME ?= 100ms
 # BENCH_pr2.json and silently diff against a stale snapshot once the
 # PR counter hits double digits. sort -t_ -k2.3 -n keys on the digits
 # after "BENCH_pr" instead.
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 BENCH_BASE ?= $(shell ls BENCH_pr*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -t_ -k2.3 -n | tail -n1)
 
 .PHONY: build test race bench bench-parallel verify repro-quick check ci fmt-check bench-json bench-diff chaos
@@ -61,6 +61,7 @@ check: fmt-check chaos
 	$(GO) test -run 'TestInstrumentationByteIdentical|TestInstrumentationDoesNotChangeResults' \
 		./cmd/repro ./internal/core
 	$(GO) test -run 'TestReferencePlacementByteIdentical' ./internal/cluster
+	$(GO) test -run 'TestSketchMatchesExact|TestUsageSketchMatchesExactUsage' ./internal/stats ./internal/hostload
 	-$(MAKE) bench-diff BENCH_OUT=/tmp/BENCH_check.json
 
 # Machine-readable benchmark snapshot: the pipeline benches (including
@@ -71,6 +72,7 @@ bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/cluster >> /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/obs >> /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/ckpt >> /tmp/bench_root.txt
+	$(GO) test -bench='BenchmarkUsageSamples(Exact|Streaming)$$' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/hostload >> /tmp/bench_root.txt
 	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	predict [-system Google|AuverGrid|SHARCNET] [-hosts 20] [-days 4]
-//	        [-seed 1] [-hmm]
+//	        [-seed 1] [-k 1] [-hmm]
+//
+// The same scenario is served live by the reprod daemon at
+// GET /v1/predict; both render the identical predict.ScenarioReport,
+// so the served bytes match this command's output exactly.
 package main
 
 import (
@@ -15,14 +19,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/cluster"
-	"repro/internal/hostload"
 	"repro/internal/predict"
-	"repro/internal/report"
-	"repro/internal/rng"
-	"repro/internal/synth"
-	"repro/internal/timeseries"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -37,73 +34,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hosts  = fs.Int("hosts", 20, "host population size")
 		days   = fs.Int("days", 4, "horizon in days")
 		seed   = fs.Uint64("seed", 1, "random seed")
+		k      = fs.Int("k", 1, "forecast horizon in steps")
 		useHMM = fs.Bool("hmm", false, "include the (slow) HMM predictor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	horizon := int64(*days) * 86400
 
-	series, err := hostPopulation(*system, *hosts, horizon, *seed)
+	rep, err := predict.RunScenario(predict.Scenario{
+		System: *system, Hosts: *hosts, Days: *days, Seed: *seed, K: *k, HMM: *useHMM,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "predict: %v\n", err)
 		return 1
 	}
-
-	noise := hostload.SeriesNoise(series, 2)
-	ac := hostload.MeanSeriesAutocorrelation(series, 1)
-	fmt.Fprintf(stdout, "%s: %d hosts, %d days — noise mean %.4f, lag-1 autocorrelation %.3f\n\n",
-		*system, len(series), *days, noise.Mean, ac)
-
-	suite := predict.Standard()
-	if *useHMM {
-		suite = append(suite, &predict.HMMPredictor{StatesN: 3, Levels: 5, Window: 288, Retrain: 288, Seed: *seed})
-	}
-
-	tbl := &report.Table{
-		ID: "predict", Title: "One-step-ahead prediction accuracy",
-		Columns: []string{"predictor", "MAE", "RMSE", "level hit rate"},
-	}
-	const warmup = 24
-	for _, p := range suite {
-		e := predict.EvaluateAll(p, series, warmup)
-		tbl.AddRow(p.Name(), report.F(e.MAE), report.F(e.RMSE),
-			fmt.Sprintf("%.0f%%", 100*e.LevelHitRate))
-	}
-	if err := tbl.Render(stdout); err != nil {
+	if err := rep.WriteText(stdout); err != nil {
 		fmt.Fprintf(stderr, "predict: %v\n", err)
 		return 1
 	}
-	best, e := predict.Best(suite, series, warmup)
-	fmt.Fprintf(stdout, "\nbest-fit predictor: %s (MAE %.4f)\n", best.Name(), e.MAE)
 	return 0
-}
-
-func hostPopulation(system string, hosts int, horizon int64, seed uint64) ([]*timeseries.Series, error) {
-	switch system {
-	case "Google":
-		s := rng.New(seed)
-		park := synth.GoogleMachines(hosts, s.Child("machines"))
-		gcfg := synth.ScaledGoogleConfig(hosts, horizon)
-		tasks := synth.GenerateGoogleTasks(gcfg, s.Child("workload"))
-		res, err := cluster.Simulate(cluster.DefaultConfig(park, horizon), tasks, s.Child("sim"))
-		if err != nil {
-			return nil, err
-		}
-		var out []*timeseries.Series
-		for _, m := range res.Machines {
-			out = append(out, hostload.RelativeSeries(m, hostload.CPUUsage, trace.LowPriority))
-		}
-		return out, nil
-	case "AuverGrid", "SHARCNET":
-		cfg := synth.DefaultGridHost(system)
-		s := rng.New(seed).Child(system)
-		var out []*timeseries.Series
-		for i := 0; i < hosts; i++ {
-			cpu, _ := synth.GridHostSeries(cfg, horizon, s.Child(fmt.Sprintf("h%d", i)))
-			out = append(out, cpu)
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("unknown system %q (want Google, AuverGrid or SHARCNET)", system)
 }

@@ -4,7 +4,47 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/predict"
 )
+
+// TestPredictBytesMatchLibrary pins the CLI's output to the library's
+// WriteText rendering: the daemon's /v1/predict serves the library
+// bytes, so this equality is what makes served == CLI transitively.
+func TestPredictBytesMatchLibrary(t *testing.T) {
+	rep, err := predict.RunScenario(predict.Scenario{System: "AuverGrid", Hosts: 3, Days: 1, Seed: 9})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	var want bytes.Buffer
+	if err := rep.WriteText(&want); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "AuverGrid", "-hosts", "3", "-days", "1", "-seed", "9"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Errorf("CLI bytes differ from library rendering:\nCLI:\n%s\nlibrary:\n%s", out.Bytes(), want.Bytes())
+	}
+}
+
+// TestPredictMultiStep checks the -k flag retitles the table and still
+// selects a best fit.
+func TestPredictMultiStep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-system", "AuverGrid", "-hosts", "2", "-days", "1", "-k", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "3-step-ahead prediction accuracy") {
+		t.Errorf("multi-step title missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "best-fit predictor") {
+		t.Errorf("best-fit line missing:\n%s", out.String())
+	}
+}
 
 func TestPredictGoogle(t *testing.T) {
 	var out, errOut bytes.Buffer

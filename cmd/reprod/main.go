@@ -18,6 +18,10 @@
 // (CSV), /v1/artifacts/{id}/series/{s} (.dat). Artifact routes accept
 // ?seed=&machines=&days=&workload_days= scenario overrides, served
 // from an LRU of per-config contexts with a hard cap (-max-contexts).
+// /v1/predict?system=&hosts=&days=&seed=&k=&hmm= serves live host-load
+// predictions (plain text byte-identical to cmd/predict, ?format=json
+// for the structured report) through the same gate, coalescer and an
+// LRU of finished reports.
 //
 // Concurrent requests for the same cold artifact are coalesced into
 // one build; -checkpoint-dir warm-starts from (and feeds) the same

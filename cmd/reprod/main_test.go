@@ -95,6 +95,8 @@ func TestRunServeAndDrain(t *testing.T) {
 		{"/v1/experiments", http.StatusOK, "fig2"},
 		{"/metrics", http.StatusOK, "serve.req.total"},
 		{"/v1/artifacts/nonsense", http.StatusNotFound, "unknown experiment"},
+		{"/v1/predict?system=AuverGrid&hosts=2&days=1", http.StatusOK, "best-fit predictor"},
+		{"/v1/predict?system=Mars", http.StatusBadRequest, "system"},
 	} {
 		resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, tc.path))
 		if err != nil {

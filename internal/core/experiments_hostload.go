@@ -260,6 +260,12 @@ func Fig10(ctx *Context) (*Result, error) {
 			ys := make([]float64, len(levels))
 			for i, l := range levels {
 				ys[i] = float64(l)
+				// Level -1 marks NaN samples (zero-capacity machines);
+				// they belong to no usage level and are exported as -1
+				// but excluded from the level shares.
+				if l < 0 {
+					continue
+				}
 				counts[l]++
 				total++
 			}

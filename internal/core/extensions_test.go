@@ -6,7 +6,7 @@ import (
 
 func TestExtensionsRegistry(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 4 {
+	if len(exts) != 5 {
 		t.Fatalf("got %d extensions", len(exts))
 	}
 	for _, e := range exts {
@@ -84,5 +84,21 @@ func TestExtQueueing(t *testing.T) {
 	}
 	if easy > fcfs*1.1 {
 		t.Errorf("backfill mean wait %v should not exceed FCFS %v", easy, fcfs)
+	}
+}
+
+func TestExtStreamStats(t *testing.T) {
+	r, err := ExtStreamStats(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 4 {
+		t.Fatalf("want one 4-row table, got %+v", r.Tables)
+	}
+	// The experiment hard-fails when a bound is exceeded, so reaching
+	// here means every quantile error was inside one bin width; pin the
+	// headline metric anyway.
+	if r.Metrics["max_quantile_err_pct"] > 100.0/200 {
+		t.Errorf("max quantile error %v exceeds the bin width", r.Metrics["max_quantile_err_pct"])
 	}
 }

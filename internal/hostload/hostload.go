@@ -84,12 +84,25 @@ func Capacity(m trace.Machine, attr Attribute) float64 {
 
 // RelativeSeries returns the series divided by the machine's capacity,
 // i.e. the paper's "relative usage level" in [0, 1].
+//
+// A machine whose capacity for the attribute is zero, negative or NaN
+// has no meaningful relative level: every sample is emitted as NaN
+// rather than letting v/0 leak ±Inf (or 0/0 leak incidental NaN) into
+// whole-population aggregates. Population consumers — UsageSamples,
+// UsageSketch, MeanRelativeUsage, the level segmentations — filter
+// such samples explicitly.
 func RelativeSeries(ms *cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) *timeseries.Series {
 	s := SeriesOf(ms, attr, minGroup)
-	cap := Capacity(ms.Machine, attr)
+	c := Capacity(ms.Machine, attr)
 	out := &timeseries.Series{Start: s.Start, Step: s.Step, Values: make([]float64, len(s.Values))}
+	if !(c > 0) {
+		for i := range out.Values {
+			out.Values[i] = math.NaN()
+		}
+		return out
+	}
 	for i, v := range s.Values {
-		out.Values[i] = v / cap
+		out.Values[i] = v / c
 	}
 	return out
 }
@@ -276,6 +289,11 @@ func LevelDurations(machines []*cluster.MachineSeries, attr Attribute, minGroup 
 		var durs [UsageLevels][]float64
 		rel := RelativeSeries(machines[i], attr, minGroup)
 		for _, seg := range rel.LevelSegments(UsageLevels) {
+			// Level -1 marks NaN samples (e.g. a zero-capacity machine);
+			// they belong to no usage level.
+			if seg.Level < 0 {
+				continue
+			}
 			durs[seg.Level] = append(durs[seg.Level], float64(seg.Duration))
 		}
 		return durs
@@ -290,12 +308,18 @@ func LevelDurations(machines []*cluster.MachineSeries, attr Attribute, minGroup 
 }
 
 // UsageSamples flattens all machines' relative usage samples into one
-// slice of percentages in [0, 100] (Figs 11-12 x-axis).
+// slice of percentages in [0, 100] (Figs 11-12 x-axis). Non-finite
+// samples — a zero-capacity machine's NaN relative series, or a NaN
+// usage reading — are dropped rather than clamped, so one bad machine
+// cannot poison the population distribution.
 func UsageSamples(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup) []float64 {
 	perMachine := par.Map(len(machines), 0, func(i int) []float64 {
 		rel := RelativeSeries(machines[i], attr, minGroup)
-		ps := make([]float64, len(rel.Values))
-		for j, v := range rel.Values {
+		ps := make([]float64, 0, len(rel.Values))
+		for _, v := range rel.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			p := v * 100
 			if p < 0 {
 				p = 0
@@ -303,7 +327,7 @@ func UsageSamples(machines []*cluster.MachineSeries, attr Attribute, minGroup tr
 			if p > 100 {
 				p = 100
 			}
-			ps[j] = p
+			ps = append(ps, p)
 		}
 		return ps
 	})
@@ -316,6 +340,54 @@ func UsageSamples(machines []*cluster.MachineSeries, attr Attribute, minGroup tr
 		out = append(out, ps...)
 	}
 	return out
+}
+
+// UsageSketch is the streaming counterpart of UsageSamples for the
+// Figs 11-12 aggregations: instead of materializing every machine's
+// relative usage into one population-sized slice, each machine feeds a
+// fixed-bin sketch over [0, 100] percent (O(nbins) memory per machine
+// — the exactness buffers are spilled up front) and the partials merge
+// in machine order, so the result is deterministic for a given park.
+//
+// Samples are filtered and clamped exactly as UsageSamples does:
+// non-finite values (zero-capacity machines, NaN readings) are counted
+// in the sketch's Rejected tally instead of binned, finite values are
+// clamped into [0, 100]. Quantiles/mass-count read off the sketch
+// within its documented error bound (stats.Sketch); Mean and Count are
+// exact.
+func UsageSketch(machines []*cluster.MachineSeries, attr Attribute, minGroup trace.PriorityGroup, nbins int) (*stats.Sketch, error) {
+	merged, err := stats.NewSketch(nbins, 0, 100)
+	if err != nil {
+		return nil, err
+	}
+	merged.Spill()
+	partials := par.Map(len(machines), 0, func(i int) *stats.Sketch {
+		sk, _ := stats.NewSketch(nbins, 0, 100)
+		sk.Spill()
+		rel := RelativeSeries(machines[i], attr, minGroup)
+		for _, v := range rel.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				sk.Add(math.NaN()) // counts toward Rejected
+				continue
+			}
+			p := v * 100
+			if p < 0 {
+				p = 0
+			}
+			if p > 100 {
+				p = 100
+			}
+			sk.Add(p)
+		}
+		return sk
+	})
+	for _, sk := range partials {
+		// Geometry is identical by construction; Merge cannot fail.
+		if err := merged.Merge(sk); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -409,6 +481,12 @@ func MeanRelativeUsage(machines []*cluster.MachineSeries, attr Attribute, minGro
 	var n int
 	for _, rel := range rels {
 		for _, v := range rel.Values {
+			// Skip non-finite samples: a single zero-capacity machine
+			// (NaN relative series) or ±Inf reading used to poison the
+			// whole-population mean.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			sum += v
 			n++
 		}

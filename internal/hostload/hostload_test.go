@@ -3,10 +3,12 @@ package hostload
 import (
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
@@ -275,5 +277,146 @@ func TestEmptyInputs(t *testing.T) {
 	}
 	if got := MaxLoadsByClass(nil, CPUUsage); len(got) != 0 {
 		t.Fatal("empty max loads should be empty")
+	}
+}
+
+// TestZeroCapacityMachine is the end-to-end regression for the
+// zero-capacity division: a machine with CPU capacity 0 used to yield
+// an all-Inf/NaN relative series that poisoned MeanRelativeUsage (NaN
+// for the whole population) and leaked Inf-clamped samples into
+// UsageSamples. Now its relative series is all-NaN and every
+// population kernel skips it.
+func TestZeroCapacityMachine(t *testing.T) {
+	good := fakeMachine(0, 0.5, 1, 300, []float64{0.1, 0.4}, []float64{0, 0}, []float64{0, 0})
+	dead := fakeMachine(1, 0, 1, 300, []float64{0.2, 0.3}, []float64{0, 0}, []float64{0, 0})
+	pop := []*cluster.MachineSeries{good, dead}
+
+	rel := RelativeSeries(dead, CPUUsage, trace.LowPriority)
+	for i, v := range rel.Values {
+		if !math.IsNaN(v) {
+			t.Fatalf("zero-capacity relative sample %d = %v, want NaN", i, v)
+		}
+	}
+
+	mean := MeanRelativeUsage(pop, CPUUsage, trace.LowPriority)
+	if math.IsNaN(mean) || math.Abs(mean-0.5) > 1e-12 {
+		t.Errorf("MeanRelativeUsage = %v, want 0.5 — zero-capacity machine poisoned the mean", mean)
+	}
+
+	samples := UsageSamples(pop, CPUUsage, trace.LowPriority)
+	if len(samples) != 2 || samples[0] != 20 || samples[1] != 80 {
+		t.Errorf("UsageSamples = %v, want the good machine's [20 80] only", samples)
+	}
+
+	// Level durations must not credit the dead machine with idle time.
+	durs := LevelDurations(pop, CPUUsage, trace.LowPriority)
+	var total float64
+	for _, ds := range durs {
+		for _, d := range ds {
+			total += d
+		}
+	}
+	if total != 600 {
+		t.Errorf("LevelDurations total = %v s, want 600 (good machine only)", total)
+	}
+}
+
+// TestUsageSketchMatchesExactUsage: the streaming UsageSketch must
+// agree with the materializing UsageSamples — identical count and
+// mean, quantiles within the bin-width bound — including in the
+// presence of a zero-capacity machine (counted as Rejected).
+func TestUsageSketchMatchesExactUsage(t *testing.T) {
+	s := rng.New(11)
+	var pop []*cluster.MachineSeries
+	for i := 0; i < 30; i++ {
+		vals := make([]float64, 200)
+		for j := range vals {
+			vals[j] = 0.5 * s.Float64()
+		}
+		pop = append(pop, fakeMachine(i, 0.5, 1, 300, vals, make([]float64, 200), make([]float64, 200)))
+	}
+	pop = append(pop, fakeMachine(99, 0, 1, 300, make([]float64, 200), make([]float64, 200), make([]float64, 200)))
+
+	exact := UsageSamples(pop, CPUUsage, trace.LowPriority)
+	sk, err := UsageSketch(pop, CPUUsage, trace.LowPriority, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Count() != len(exact) {
+		t.Fatalf("sketch count %d != exact %d", sk.Count(), len(exact))
+	}
+	if sk.Rejected() != 200 {
+		t.Errorf("Rejected = %d, want 200 (the zero-capacity machine's samples)", sk.Rejected())
+	}
+	var sum float64
+	for _, v := range exact {
+		sum += v
+	}
+	if math.Abs(sk.Mean()-sum/float64(len(exact))) > 1e-9 {
+		t.Errorf("sketch mean %v != exact %v", sk.Mean(), sum/float64(len(exact)))
+	}
+	sorted := append([]float64(nil), exact...)
+	sort.Float64s(sorted)
+	w := sk.BinWidth()
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		r := int(math.Ceil(p * float64(len(sorted))))
+		if r < 1 {
+			r = 1
+		}
+		got, want := sk.Quantile(p), sorted[r-1]
+		if math.Abs(got-want) > w {
+			t.Errorf("Quantile(%g) = %v, exact %v, err beyond bin width %v", p, got, want, w)
+		}
+	}
+
+	// Determinism: a second pass over the same park is bit-identical.
+	sk2, err := UsageSketch(pop, CPUUsage, trace.LowPriority, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sk.BinCounts(), sk2.BinCounts()) || sk.Sum() != sk2.Sum() {
+		t.Error("UsageSketch not deterministic across runs")
+	}
+}
+
+// benchPark builds a synthetic machine park for the streaming
+// benchmarks: nMachines hosts with nSamples usage samples each.
+func benchPark(nMachines, nSamples int) []*cluster.MachineSeries {
+	s := rng.New(5)
+	pop := make([]*cluster.MachineSeries, nMachines)
+	zeros := make([]float64, nSamples)
+	for i := range pop {
+		vals := make([]float64, nSamples)
+		for j := range vals {
+			vals[j] = 0.5 * s.Float64()
+		}
+		pop[i] = fakeMachine(i, 0.5, 1, 300, vals, zeros, zeros)
+	}
+	return pop
+}
+
+// BenchmarkUsageSamplesExact materializes the full population slice —
+// the O(population) baseline the sketch replaces.
+func BenchmarkUsageSamplesExact(b *testing.B) {
+	pop := benchPark(64, 288)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := UsageSamples(pop, CPUUsage, trace.LowPriority)
+		_ = stats.NewSorted(samples)
+	}
+}
+
+// BenchmarkUsageSamplesStreaming runs the same aggregation through the
+// O(bins)-per-machine sketch path; allocated bytes per op is the
+// headline (peak-footprint proxy) metric.
+func BenchmarkUsageSamplesStreaming(b *testing.B) {
+	pop := benchPark(64, 288)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UsageSketch(pop, CPUUsage, trace.LowPriority, 200); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

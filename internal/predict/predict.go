@@ -214,60 +214,75 @@ type Evaluation struct {
 	N            int
 }
 
-// Evaluate runs a predictor over the series, forecasting each sample
-// from the prefix before it, skipping the first warmup samples.
-func Evaluate(p Predictor, s *timeseries.Series, warmup int) Evaluation {
+// evalSums is the raw error accumulator behind every evaluation: the
+// per-step sums that per-series and pooled population summaries both
+// reduce from.
+type evalSums struct {
+	sumAbs, sumSq float64
+	hits, n       int
+}
+
+func (e evalSums) evaluation() Evaluation {
+	if e.n == 0 {
+		return Evaluation{}
+	}
+	return Evaluation{
+		MAE:          e.sumAbs / float64(e.n),
+		RMSE:         math.Sqrt(e.sumSq / float64(e.n)),
+		LevelHitRate: float64(e.hits) / float64(e.n),
+		N:            e.n,
+	}
+}
+
+// evalSeries accumulates one-step-ahead errors over one series.
+func evalSeries(p Predictor, s *timeseries.Series, warmup int) evalSums {
 	if warmup < 1 {
 		warmup = 1
 	}
-	var sumAbs, sumSq float64
-	hits, n := 0, 0
+	var e evalSums
 	for i := warmup; i < s.Len(); i++ {
 		pred := p.Predict(s.Values[:i])
 		actual := s.Values[i]
 		d := pred - actual
-		sumAbs += math.Abs(d)
-		sumSq += d * d
+		e.sumAbs += math.Abs(d)
+		e.sumSq += d * d
 		if usageLevel(pred) == usageLevel(actual) {
-			hits++
+			e.hits++
 		}
-		n++
+		e.n++
 	}
-	if n == 0 {
-		return Evaluation{}
-	}
-	return Evaluation{
-		MAE:          sumAbs / float64(n),
-		RMSE:         math.Sqrt(sumSq / float64(n)),
-		LevelHitRate: float64(hits) / float64(n),
-		N:            n,
-	}
+	return e
 }
 
+// Evaluate runs a predictor over the series, forecasting each sample
+// from the prefix before it, skipping the first warmup samples.
+func Evaluate(p Predictor, s *timeseries.Series, warmup int) Evaluation {
+	return evalSeries(p, s, warmup).evaluation()
+}
+
+// usageLevel clamps on the scaled float before the int conversion so
+// a NaN or ±Inf prediction maps to a defined level (0 for NaN/-Inf,
+// 4 for +Inf) instead of Go's unspecified conversion.
 func usageLevel(v float64) int {
-	l := int(v * 5)
-	if l < 0 {
-		l = 0
+	scaled := v * 5
+	if math.IsNaN(v) || scaled < 0 {
+		return 0
 	}
-	if l > 4 {
-		l = 4
+	if scaled > 4 {
+		return 4
 	}
-	return l
+	return int(scaled)
 }
 
-// EvaluateK measures k-step-ahead accuracy: the predictor forecasts
-// iteratively, feeding its own outputs back as pseudo-history, and the
-// k-th forecast is scored against the actual sample. k = 1 matches
-// Evaluate.
-func EvaluateK(p Predictor, s *timeseries.Series, warmup, k int) Evaluation {
+// evalSeriesK accumulates k-step-ahead errors over one series.
+func evalSeriesK(p Predictor, s *timeseries.Series, warmup, k int) evalSums {
 	if warmup < 1 {
 		warmup = 1
 	}
 	if k < 1 {
 		k = 1
 	}
-	var sumAbs, sumSq float64
-	hits, n := 0, 0
+	var e evalSums
 	buf := make([]float64, 0, s.Len()+k)
 	for i := warmup; i+k-1 < s.Len(); i++ {
 		buf = append(buf[:0], s.Values[:i]...)
@@ -278,48 +293,53 @@ func EvaluateK(p Predictor, s *timeseries.Series, warmup, k int) Evaluation {
 		}
 		actual := s.Values[i+k-1]
 		d := pred - actual
-		sumAbs += math.Abs(d)
-		sumSq += d * d
+		e.sumAbs += math.Abs(d)
+		e.sumSq += d * d
 		if usageLevel(pred) == usageLevel(actual) {
-			hits++
+			e.hits++
 		}
-		n++
+		e.n++
 	}
-	if n == 0 {
-		return Evaluation{}
-	}
-	return Evaluation{
-		MAE:          sumAbs / float64(n),
-		RMSE:         math.Sqrt(sumSq / float64(n)),
-		LevelHitRate: float64(hits) / float64(n),
-		N:            n,
-	}
+	return e
 }
 
-// EvaluateAll averages a predictor's evaluation over a host
-// population.
+// EvaluateK measures k-step-ahead accuracy: the predictor forecasts
+// iteratively, feeding its own outputs back as pseudo-history, and the
+// k-th forecast is scored against the actual sample. k = 1 matches
+// Evaluate.
+func EvaluateK(p Predictor, s *timeseries.Series, warmup, k int) Evaluation {
+	return evalSeriesK(p, s, warmup, k).evaluation()
+}
+
+// EvaluateAll pools a predictor's evaluation over a host population,
+// weighting every host by its evaluated step count: MAE and the level
+// hit rate are means over all steps, RMSE is the root of the pooled
+// mean squared error, and N is the total step count those summaries
+// describe. (A previous version averaged the per-host summaries
+// unweighted while still reporting the total N, so Best selected on a
+// metric that did not match its reported sample size and a short
+// series counted as much as a long one.)
 func EvaluateAll(p Predictor, series []*timeseries.Series, warmup int) Evaluation {
-	var agg Evaluation
-	var maeSum, rmseSum, hitSum float64
-	pops := 0
+	return EvaluateAllK(p, series, warmup, 1)
+}
+
+// EvaluateAllK is EvaluateAll at a k-step-ahead horizon, with the same
+// step-weighted pooling.
+func EvaluateAllK(p Predictor, series []*timeseries.Series, warmup, k int) Evaluation {
+	var agg evalSums
 	for _, s := range series {
-		e := Evaluate(p, s, warmup)
-		if e.N == 0 {
-			continue
+		var e evalSums
+		if k <= 1 {
+			e = evalSeries(p, s, warmup)
+		} else {
+			e = evalSeriesK(p, s, warmup, k)
 		}
-		maeSum += e.MAE
-		rmseSum += e.RMSE
-		hitSum += e.LevelHitRate
-		agg.N += e.N
-		pops++
+		agg.sumAbs += e.sumAbs
+		agg.sumSq += e.sumSq
+		agg.hits += e.hits
+		agg.n += e.n
 	}
-	if pops == 0 {
-		return Evaluation{}
-	}
-	agg.MAE = maeSum / float64(pops)
-	agg.RMSE = rmseSum / float64(pops)
-	agg.LevelHitRate = hitSum / float64(pops)
-	return agg
+	return agg.evaluation()
 }
 
 // Best evaluates every candidate over the population and returns the

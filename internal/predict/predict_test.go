@@ -238,3 +238,99 @@ func TestStandardSuiteNamesUnique(t *testing.T) {
 		t.Fatalf("suite too small: %d", len(seen))
 	}
 }
+
+// TestEvaluateAllWeighting is the regression for the pooling bug:
+// EvaluateAll used to average per-host summaries unweighted while
+// reporting the total step count as N, so a 1-step host pulled as hard
+// as a 5-step host and the summary did not describe its own N. The
+// pooled semantics weight every step equally.
+func TestEvaluateAllWeighting(t *testing.T) {
+	long := series([]float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}) // 5 scored steps, error 0
+	short := series([]float64{0, 1})                        // 1 scored step, error 1
+	e := EvaluateAll(LastValue{}, []*timeseries.Series{long, short}, 1)
+	if e.N != 6 {
+		t.Fatalf("N = %d, want 6", e.N)
+	}
+	if want := 1.0 / 6; math.Abs(e.MAE-want) > 1e-12 {
+		t.Errorf("MAE = %v, want pooled %v (unweighted average would give 0.5)", e.MAE, want)
+	}
+	if want := math.Sqrt(1.0 / 6); math.Abs(e.RMSE-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want pooled %v", e.RMSE, want)
+	}
+	if want := 5.0 / 6; math.Abs(e.LevelHitRate-want) > 1e-12 {
+		t.Errorf("LevelHitRate = %v, want pooled %v", e.LevelHitRate, want)
+	}
+}
+
+// TestEvaluateAllMatchesPooledSingles: pooling by raw sums must equal
+// evaluating the concatenation of per-series error streams — checked
+// against per-series Evaluate results recombined by their own N.
+func TestEvaluateAllMatchesPooledSingles(t *testing.T) {
+	s := rng.New(3).Child("pool")
+	var pop []*timeseries.Series
+	for i := 0; i < 4; i++ {
+		vs := make([]float64, 10+10*i)
+		for j := range vs {
+			vs[j] = s.Float64()
+		}
+		pop = append(pop, series(vs))
+	}
+	p := MovingAverage{Window: 3}
+	got := EvaluateAll(p, pop, 2)
+	var sumAbs, sumSq float64
+	var hits, n int
+	for _, sr := range pop {
+		e := Evaluate(p, sr, 2)
+		sumAbs += e.MAE * float64(e.N)
+		sumSq += e.RMSE * e.RMSE * float64(e.N)
+		hits += int(math.Round(e.LevelHitRate * float64(e.N)))
+		n += e.N
+	}
+	if got.N != n {
+		t.Fatalf("N = %d, want %d", got.N, n)
+	}
+	if math.Abs(got.MAE-sumAbs/float64(n)) > 1e-9 {
+		t.Errorf("MAE = %v, want %v", got.MAE, sumAbs/float64(n))
+	}
+	if math.Abs(got.RMSE-math.Sqrt(sumSq/float64(n))) > 1e-9 {
+		t.Errorf("RMSE = %v, want %v", got.RMSE, math.Sqrt(sumSq/float64(n)))
+	}
+	if math.Abs(got.LevelHitRate-float64(hits)/float64(n)) > 1e-9 {
+		t.Errorf("LevelHitRate = %v, want %v", got.LevelHitRate, float64(hits)/float64(n))
+	}
+}
+
+// TestEvaluateAllKPooled: the k-step population evaluation shares the
+// pooled weighting, and k=1 matches EvaluateAll exactly.
+func TestEvaluateAllKPooled(t *testing.T) {
+	long := series([]float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	short := series([]float64{0, 1})
+	pop := []*timeseries.Series{long, short}
+	if e1, ek := EvaluateAll(LastValue{}, pop, 1), EvaluateAllK(LastValue{}, pop, 1, 1); e1 != ek {
+		t.Errorf("EvaluateAllK(k=1) = %+v, want EvaluateAll %+v", ek, e1)
+	}
+	ek := EvaluateAllK(LastValue{}, pop, 1, 2)
+	// long: 4 scored steps (i=1..4), error 0; short: too short for k=2.
+	if ek.N != 4 || ek.MAE != 0 {
+		t.Errorf("k=2 pooled = %+v, want N=4 MAE=0", ek)
+	}
+}
+
+// TestUsageLevelNonFinite: a NaN or ±Inf prediction must land in a
+// defined level instead of Go's unspecified conversion.
+func TestUsageLevelNonFinite(t *testing.T) {
+	if usageLevel(math.NaN()) != 0 {
+		t.Error("usageLevel(NaN) != 0")
+	}
+	if usageLevel(math.Inf(-1)) != 0 {
+		t.Error("usageLevel(-Inf) != 0")
+	}
+	if usageLevel(math.Inf(1)) != 4 {
+		t.Error("usageLevel(+Inf) != 4")
+	}
+	for v, want := range map[float64]int{0: 0, 0.19: 0, 0.2: 1, 0.99: 4, 1: 4, -0.5: 0, 1.5: 4} {
+		if got := usageLevel(v); got != want {
+			t.Errorf("usageLevel(%v) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package predict
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/hostload"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// ScenarioWarmup is the number of leading samples every scenario
+// evaluation skips before scoring forecasts (2 hours of 5-minute
+// samples).
+const ScenarioWarmup = 24
+
+// Scenario describes one host-load prediction run: which system's
+// host population to synthesize, its size and horizon, the RNG seed,
+// the forecast horizon in steps and whether to include the (slow) HMM
+// predictor. It is the shared contract between cmd/predict and the
+// daemon's /v1/predict endpoint: the same Scenario always produces the
+// same ScenarioReport, byte for byte.
+type Scenario struct {
+	System string // Google, AuverGrid or SHARCNET
+	Hosts  int    // host population size
+	Days   int    // horizon in days
+	Seed   uint64 // random seed
+	K      int    // forecast horizon in steps (<= 1 means one-step-ahead)
+	HMM    bool   // include the HMM predictor
+}
+
+// normalized returns the scenario with defaulted fields pinned, so
+// equivalent requests share one canonical form.
+func (sc Scenario) normalized() Scenario {
+	if sc.K < 1 {
+		sc.K = 1
+	}
+	return sc
+}
+
+// Canonical returns a deterministic cache/coalescing key covering
+// every field that affects the report.
+func (sc Scenario) Canonical() string {
+	sc = sc.normalized()
+	return fmt.Sprintf("predict|system=%s|hosts=%d|days=%d|seed=%d|k=%d|hmm=%t",
+		sc.System, sc.Hosts, sc.Days, sc.Seed, sc.K, sc.HMM)
+}
+
+// PredictorEval is one predictor's accuracy over the scenario's host
+// population (step-weighted pooling, see EvaluateAll).
+type PredictorEval struct {
+	Predictor    string  `json:"predictor"`
+	MAE          float64 `json:"mae"`
+	RMSE         float64 `json:"rmse"`
+	LevelHitRate float64 `json:"level_hit_rate"`
+	N            int     `json:"n"`
+}
+
+// ScenarioReport is the full result of a prediction scenario: the
+// population's characterization headline (noise, autocorrelation),
+// every predictor's pooled accuracy and the best-fit selection.
+type ScenarioReport struct {
+	System    string          `json:"system"`
+	Hosts     int             `json:"hosts"`
+	Days      int             `json:"days"`
+	Seed      uint64          `json:"seed"`
+	K         int             `json:"k"`
+	NoiseMean float64         `json:"noise_mean"`
+	Autocorr1 float64         `json:"lag1_autocorrelation"`
+	Evals     []PredictorEval `json:"evals"`
+	Best      PredictorEval   `json:"best"`
+}
+
+// RunScenario synthesizes the scenario's host population, evaluates
+// the standard predictor suite (plus the HMM when requested) at the
+// scenario's forecast horizon and selects the best-fit method by
+// lowest MAE, mirroring Best's tie-breaking (first of equals wins).
+func RunScenario(sc Scenario) (*ScenarioReport, error) {
+	sc = sc.normalized()
+	series, err := hostPopulation(sc.System, sc.Hosts, int64(sc.Days)*86400, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	noise := hostload.SeriesNoise(series, 2)
+	ac := hostload.MeanSeriesAutocorrelation(series, 1)
+
+	suite := Standard()
+	if sc.HMM {
+		suite = append(suite, &HMMPredictor{StatesN: 3, Levels: 5, Window: 288, Retrain: 288, Seed: sc.Seed})
+	}
+	rep := &ScenarioReport{
+		System:    sc.System,
+		Hosts:     len(series),
+		Days:      sc.Days,
+		Seed:      sc.Seed,
+		K:         sc.K,
+		NoiseMean: noise.Mean,
+		Autocorr1: ac,
+	}
+	best := -1
+	for _, p := range suite {
+		e := EvaluateAllK(p, series, ScenarioWarmup, sc.K)
+		rep.Evals = append(rep.Evals, PredictorEval{
+			Predictor:    p.Name(),
+			MAE:          e.MAE,
+			RMSE:         e.RMSE,
+			LevelHitRate: e.LevelHitRate,
+			N:            e.N,
+		})
+		if e.N == 0 {
+			continue
+		}
+		if best < 0 || e.MAE < rep.Evals[best].MAE {
+			best = len(rep.Evals) - 1
+		}
+	}
+	if best >= 0 {
+		rep.Best = rep.Evals[best]
+	}
+	return rep, nil
+}
+
+// WriteText renders the report in cmd/predict's plain-text format.
+// This is the byte-level determinism contract with the daemon: for the
+// same Scenario, the bytes /v1/predict serves are the bytes the CLI
+// prints.
+func (r *ScenarioReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %d hosts, %d days — noise mean %.4f, lag-1 autocorrelation %.3f\n\n",
+		r.System, r.Hosts, r.Days, r.NoiseMean, r.Autocorr1); err != nil {
+		return err
+	}
+	title := "One-step-ahead prediction accuracy"
+	if r.K > 1 {
+		title = fmt.Sprintf("%d-step-ahead prediction accuracy", r.K)
+	}
+	tbl := &report.Table{
+		ID: "predict", Title: title,
+		Columns: []string{"predictor", "MAE", "RMSE", "level hit rate"},
+	}
+	for _, e := range r.Evals {
+		tbl.AddRow(e.Predictor, report.F(e.MAE), report.F(e.RMSE),
+			fmt.Sprintf("%.0f%%", 100*e.LevelHitRate))
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nbest-fit predictor: %s (MAE %.4f)\n", r.Best.Predictor, r.Best.MAE)
+	return err
+}
+
+// hostPopulation synthesizes the scenario's relative-usage series: a
+// simulated Google cluster's per-machine relative CPU usage, or
+// independent synthetic Grid hosts.
+func hostPopulation(system string, hosts int, horizon int64, seed uint64) ([]*timeseries.Series, error) {
+	switch system {
+	case "Google":
+		s := rng.New(seed)
+		park := synth.GoogleMachines(hosts, s.Child("machines"))
+		gcfg := synth.ScaledGoogleConfig(hosts, horizon)
+		tasks := synth.GenerateGoogleTasks(gcfg, s.Child("workload"))
+		res, err := cluster.Simulate(cluster.DefaultConfig(park, horizon), tasks, s.Child("sim"))
+		if err != nil {
+			return nil, err
+		}
+		var out []*timeseries.Series
+		for _, m := range res.Machines {
+			out = append(out, hostload.RelativeSeries(m, hostload.CPUUsage, trace.LowPriority))
+		}
+		return out, nil
+	case "AuverGrid", "SHARCNET":
+		cfg := synth.DefaultGridHost(system)
+		s := rng.New(seed).Child(system)
+		var out []*timeseries.Series
+		for i := 0; i < hosts; i++ {
+			cpu, _ := synth.GridHostSeries(cfg, horizon, s.Child(fmt.Sprintf("h%d", i)))
+			out = append(out, cpu)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown system %q (want Google, AuverGrid or SHARCNET)", system)
+}

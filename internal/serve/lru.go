@@ -7,16 +7,21 @@ import (
 	"repro/internal/obs"
 )
 
-// contextLRU caps how many per-scenario entries (each owning a
-// core.Context whose cells hold the heavyweight memoized artifacts)
-// the daemon keeps alive. The scenario route lets any request mint a
-// new config, so without a hard cap a scan of ?seed=1..N would pin N
-// simulations in memory; with it, the least-recently-used scenario is
-// dropped and rebuilds (or reloads from checkpoint) on its next use.
+// lru is a hard-capped, mutex-guarded LRU keyed by canonical strings.
+// It backs both daemon caches: the per-scenario context cache (each
+// entry owning a core.Context whose cells hold the heavyweight
+// memoized artifacts) and the /v1/predict report cache. The query
+// routes let any request mint a new key, so without a hard cap a scan
+// of ?seed=1..N would pin N simulations in memory; with it, the
+// least-recently-used value is dropped and rebuilds (or reloads from
+// checkpoint) on its next use.
 //
-//	serve.ctx.live    gauge, entries currently cached
-//	serve.ctx.evicted counter, entries dropped over the cap
-type contextLRU struct {
+// Each instance exports its occupancy and eviction count under the
+// metric names it was built with:
+//
+//	<name>.live    gauge, values currently cached
+//	<name>.evicted counter, values dropped over the cap
+type lru[V any] struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used
@@ -26,52 +31,86 @@ type contextLRU struct {
 	evicted *obs.Counter
 }
 
-// lruItem is one cached scenario keyed by its canonical config string.
-type lruItem struct {
+// lruItem is one cached value keyed by its canonical string.
+type lruItem[V any] struct {
 	key string
-	e   *entry
+	v   V
 }
 
-// newContextLRU builds an LRU holding at most cap entries (minimum 1).
-func newContextLRU(cap int, reg *obs.Registry) *contextLRU {
+// newLRU builds an LRU holding at most cap values (minimum 1),
+// exporting <metricBase>.live and <metricBase>.evicted.
+func newLRU[V any](cap int, reg *obs.Registry, metricBase string) *lru[V] {
 	if cap < 1 {
 		cap = 1
 	}
-	return &contextLRU{
+	return &lru[V]{
 		cap:     cap,
 		ll:      list.New(),
 		m:       make(map[string]*list.Element),
-		live:    reg.Gauge("serve.ctx.live"),
-		evicted: reg.Counter("serve.ctx.evicted"),
+		live:    reg.Gauge(metricBase + ".live"),
+		evicted: reg.Counter(metricBase + ".evicted"),
 	}
 }
 
-// getOrCreate returns the entry cached under key, making it the most
-// recently used, or installs mk()'s entry and evicts past the cap. An
-// evicted entry is simply unlinked: builds already running against it
-// finish against its (now unreachable) cells and are garbage collected
+// getOrCreate returns the value cached under key, making it the most
+// recently used, or installs mk()'s value and evicts past the cap. An
+// evicted value is simply unlinked: builds already running against it
+// finish against its (now unreachable) state and are garbage collected
 // together with it.
-func (l *contextLRU) getOrCreate(key string, mk func() *entry) *entry {
+func (l *lru[V]) getOrCreate(key string, mk func() V) V {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if el, ok := l.m[key]; ok {
 		l.ll.MoveToFront(el)
-		return el.Value.(*lruItem).e
+		return el.Value.(*lruItem[V]).v
 	}
-	e := mk()
-	l.m[key] = l.ll.PushFront(&lruItem{key: key, e: e})
+	v := mk()
+	l.m[key] = l.ll.PushFront(&lruItem[V]{key: key, v: v})
 	for l.ll.Len() > l.cap {
 		back := l.ll.Back()
 		l.ll.Remove(back)
-		delete(l.m, back.Value.(*lruItem).key)
+		delete(l.m, back.Value.(*lruItem[V]).key)
 		l.evicted.Add(1)
 	}
 	l.live.Set(float64(l.ll.Len()))
-	return e
+	return v
 }
 
-// len reports how many entries are cached.
-func (l *contextLRU) len() int {
+// get returns the value cached under key, making it the most recently
+// used.
+func (l *lru[V]) get(key string) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.m[key]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruItem[V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put installs (or overwrites) key's value as the most recently used,
+// evicting past the cap.
+func (l *lru[V]) put(key string, v V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.m[key]; ok {
+		el.Value.(*lruItem[V]).v = v
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.m[key] = l.ll.PushFront(&lruItem[V]{key: key, v: v})
+	for l.ll.Len() > l.cap {
+		back := l.ll.Back()
+		l.ll.Remove(back)
+		delete(l.m, back.Value.(*lruItem[V]).key)
+		l.evicted.Add(1)
+	}
+	l.live.Set(float64(l.ll.Len()))
+}
+
+// len reports how many values are cached.
+func (l *lru[V]) len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.ll.Len()

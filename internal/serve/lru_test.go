@@ -9,7 +9,7 @@ import (
 
 func TestContextLRUCapsAndRecency(t *testing.T) {
 	reg := obs.NewRegistry()
-	l := newContextLRU(2, reg)
+	l := newLRU[*entry](2, reg, "serve.ctx")
 	made := 0
 	mk := func() *entry { made++; return &entry{} }
 
@@ -38,11 +38,42 @@ func TestContextLRUCapsAndRecency(t *testing.T) {
 }
 
 func TestContextLRUMinimumCapacity(t *testing.T) {
-	l := newContextLRU(0, nil)
+	l := newLRU[*entry](0, nil, "serve.ctx")
 	for i := 0; i < 3; i++ {
 		l.getOrCreate(fmt.Sprintf("k%d", i), func() *entry { return &entry{} })
 	}
 	if l.len() != 1 {
 		t.Errorf("len = %d, want 1 (cap clamps to 1)", l.len())
+	}
+}
+
+func TestLRUGetPut(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := newLRU[int](2, reg, "serve.predict.ctx")
+	if _, ok := l.get("a"); ok {
+		t.Fatal("get on empty LRU reported a hit")
+	}
+	l.put("a", 1)
+	l.put("b", 2)
+	if v, ok := l.get("a"); !ok || v != 1 {
+		t.Fatalf("get(a) = %d,%t, want 1,true", v, ok)
+	}
+	l.put("a", 10) // overwrite refreshes, not duplicates
+	if v, _ := l.get("a"); v != 10 {
+		t.Fatalf("get(a) after overwrite = %d, want 10", v)
+	}
+	// a is most recently used; c must evict b.
+	l.put("c", 3)
+	if _, ok := l.get("b"); ok {
+		t.Error("b survived past the cap")
+	}
+	if _, ok := l.get("a"); !ok {
+		t.Error("a evicted despite being most recently used")
+	}
+	if got := reg.Counter("serve.predict.ctx.evicted").Value(); got != 1 {
+		t.Errorf("evicted counter = %d, want 1", got)
+	}
+	if l.len() != 2 {
+		t.Errorf("len = %d, want 2", l.len())
 	}
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/predict"
+)
+
+// cheapScenario is a sub-second prediction scenario: synthetic Grid
+// hosts skip the cluster simulation entirely.
+const cheapScenarioQuery = "system=AuverGrid&hosts=2&days=1&seed=3"
+
+func cheapScenario() predict.Scenario {
+	return predict.Scenario{System: "AuverGrid", Hosts: 2, Days: 1, Seed: 3, K: 1}
+}
+
+// TestPredictServedBytesIdentical is the /v1/predict determinism
+// contract: the plain-text body equals predict.RunScenario +
+// WriteText (and hence cmd/predict's stdout, which renders through the
+// same path), and the JSON body equals the marshalled report.
+func TestPredictServedBytesIdentical(t *testing.T) {
+	want, err := predict.RunScenario(cheapScenario())
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	var wantText bytes.Buffer
+	if err := want.WriteText(&wantText); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+
+	s := New(Config{Base: tinyConfig()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := get(t, ts.Client(), ts.URL+"/v1/predict?"+cheapScenarioQuery)
+	if status != 200 {
+		t.Fatalf("text status = %d, body %s", status, body)
+	}
+	if !bytes.Equal(body, wantText.Bytes()) {
+		t.Errorf("served text differs from RunScenario+WriteText:\nserved:\n%s\nwant:\n%s", body, wantText.Bytes())
+	}
+
+	status, body = get(t, ts.Client(), ts.URL+"/v1/predict?"+cheapScenarioQuery+"&format=json")
+	if status != 200 {
+		t.Fatalf("json status = %d, body %s", status, body)
+	}
+	if !bytes.Equal(body, wantJSON) {
+		t.Errorf("served JSON differs from marshalled report:\nserved: %s\nwant:   %s", body, wantJSON)
+	}
+}
+
+// TestPredictParamValidation covers the 400 paths: every rejected
+// parameter must name itself in the error body.
+func TestPredictParamValidation(t *testing.T) {
+	s := New(Config{Base: tinyConfig()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct{ query, wantSub string }{
+		{"system=Amazon", "system"},
+		{"hosts=0", "hosts"},
+		{fmt.Sprintf("hosts=%d", maxPredictHosts+1), "hosts"},
+		{"days=nope", "days"},
+		{fmt.Sprintf("days=%d", maxPredictDays+1), "days"},
+		{"k=0", "k"},
+		{fmt.Sprintf("k=%d", maxPredictK+1), "k"},
+		{"seed=-1", "seed"},
+		{"hmm=maybe", "hmm"},
+		{"format=csv", "format"},
+	}
+	for _, tc := range cases {
+		status, body := get(t, ts.Client(), ts.URL+"/v1/predict?"+tc.query)
+		if status != 400 {
+			t.Errorf("GET ?%s: status = %d, want 400 (body %s)", tc.query, status, body)
+			continue
+		}
+		if !strings.Contains(string(body), tc.wantSub) {
+			t.Errorf("GET ?%s: error %s does not mention %q", tc.query, body, tc.wantSub)
+		}
+	}
+}
+
+// TestPredictCanonicalDefaults checks that explicit defaults and a bare
+// request share one canonical key (one cache slot, one computation).
+func TestPredictCanonicalDefaults(t *testing.T) {
+	bare, err := predictScenarioFor(url.Values{})
+	if err != nil {
+		t.Fatalf("bare scenario: %v", err)
+	}
+	explicit, err := predictScenarioFor(url.Values{
+		"system": {"Google"}, "hosts": {"20"}, "days": {"4"}, "seed": {"1"}, "k": {"1"}, "hmm": {"0"},
+	})
+	if err != nil {
+		t.Fatalf("explicit scenario: %v", err)
+	}
+	if bare.Canonical() != explicit.Canonical() {
+		t.Errorf("canonical keys differ: %q vs %q", bare.Canonical(), explicit.Canonical())
+	}
+}
+
+// TestPredictCachingAndCoalescing checks the request path reuses work:
+// a repeated scenario hits the report LRU instead of recomputing, and
+// concurrent cold requests coalesce into one flight.
+func TestPredictCachingAndCoalescing(t *testing.T) {
+	rec := obs.NewRecorder()
+	s := New(Config{Base: tinyConfig(), Rec: rec})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := get(t, ts.Client(), ts.URL+"/v1/predict?"+cheapScenarioQuery)
+			if status != 200 {
+				t.Errorf("concurrent GET: status = %d, body %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	reg := rec.Registry()
+	hitsBefore := reg.Counter("serve.predict.hit").Value()
+	status, _ := get(t, ts.Client(), ts.URL+"/v1/predict?"+cheapScenarioQuery)
+	if status != 200 {
+		t.Fatalf("warm GET: status = %d", status)
+	}
+	if got := reg.Counter("serve.predict.hit").Value(); got != hitsBefore+1 {
+		t.Errorf("warm GET did not hit the report cache: hit counter %d -> %d", hitsBefore, got)
+	}
+	if reg.Gauge("serve.predict.ctx.live").Value() != 1 {
+		t.Errorf("predict cache live = %v, want 1", reg.Gauge("serve.predict.ctx.live").Value())
+	}
+}

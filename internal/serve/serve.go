@@ -19,6 +19,12 @@
 // report.Table encoder, .dat via the same report.Series encoder,
 // markdown via the same core.WriteMarkdownReport — enforced by
 // TestServedBytesIdentical.
+//
+// The daemon also serves live host-load predictions at GET /v1/predict
+// (see predict.go), reusing the same gate, singleflight coalescing and
+// LRU machinery; the plain-text body is byte-identical to cmd/predict's
+// output for the same scenario, enforced by
+// TestPredictServedBytesIdentical.
 package serve
 
 import (
@@ -37,6 +43,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/predict"
 )
 
 // Scenario-parameter guard rails: the query route lets anyone ask for
@@ -101,8 +108,11 @@ type Server struct {
 	reg          *obs.Registry
 	store        *ckpt.Store
 	gate         *Gate
-	lru          *contextLRU
+	lru          *lru[*entry]
 	buildTimeout time.Duration
+
+	predictSF    group
+	predictCache *lru[*predict.ScenarioReport]
 
 	exps       map[string]core.Experiment
 	allList    []core.Experiment // every servable artifact, registry order
@@ -118,6 +128,7 @@ type Server struct {
 	reqLatency  *obs.Histogram
 	coShared    *obs.Counter
 	artifactHit *obs.Counter
+	predictHit  *obs.Counter
 }
 
 // entry is one cached scenario: the shared core.Context whose lazy
@@ -160,7 +171,8 @@ func New(cfg Config) *Server {
 		reg:          reg,
 		store:        cfg.Store,
 		gate:         NewGate(cfg.MaxInflight, maxQueue, reg),
-		lru:          newContextLRU(maxContexts, reg),
+		lru:          newLRU[*entry](maxContexts, reg, "serve.ctx"),
+		predictCache: newLRU[*predict.ScenarioReport](maxContexts, reg, "serve.predict.ctx"),
 		buildTimeout: cfg.BuildTimeout,
 		exps:         make(map[string]core.Experiment),
 		start:        time.Now(),
@@ -169,6 +181,7 @@ func New(cfg Config) *Server {
 		reqLatency:   reg.Histogram("serve.req.latency_seconds", reqLatencyUppers),
 		coShared:     reg.Counter("serve.coalesce.shared"),
 		artifactHit:  reg.Counter("serve.artifact.hit"),
+		predictHit:   reg.Counter("serve.predict.hit"),
 	}
 	if cfg.Experiments != nil {
 		s.allList = cfg.Experiments
@@ -190,6 +203,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/artifacts/{id}/tables/{table}", s.handleTable)
 	s.mux.HandleFunc("GET /v1/artifacts/{id}/series/{series}", s.handleSeries)
+	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	return s
 }
 

@@ -1,0 +1,386 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// DefaultSketchExactCap is how many raw samples a Sketch retains
+// before it spills to bin-only resolution. Below the cap every query
+// answers from the exact sample; above it memory stays O(bins).
+const DefaultSketchExactCap = 4096
+
+// Sketch is a one-pass, mergeable, deterministic summary of a sample
+// over a fixed range [Lo, Hi]: equal-width bins holding per-bin counts
+// and per-bin mass, plus exactly tracked count, sum, min and max. It
+// is the streaming replacement for the fully-materialized sorted
+// vectors the Section IV kernels (ECDF, quantiles, mass-count
+// disparity) otherwise require: per-machine scans feed per-machine
+// sketches in O(bins) memory each, and Merge folds them into a
+// population sketch in any caller-chosen (fixed) order.
+//
+// Exactness fallback: a sketch additionally buffers raw samples until
+// DefaultSketchExactCap is exceeded (or Spill is called). While the
+// buffer is live, Quantile/CDF/mass-count queries answer from the
+// exact sample; afterwards they answer from the bins.
+//
+// Error bound (spilled): for samples inside [Lo, Hi], Quantile(p)
+// approximates the empirical order statistic x_(⌈p·n⌉) within one bin
+// width w = (Hi-Lo)/bins, because that order statistic provably lies
+// in the bin the rank walk selects and the interpolated answer never
+// leaves that bin. CountMedian and MassMedian carry the same ≤ w
+// bound, so MMDistance is within 2w. CDF is exact at bin boundaries
+// and interpolates inside a bin (error ≤ that bin's count fraction).
+// Samples outside [Lo, Hi] are clamped into the edge bins, exactly
+// like Histogram, and are excluded from the bound.
+//
+// Binning uses the same index convention as Histogram.Add, so a
+// sketch's BinCounts over in-range data equal Histogram.Counts
+// exactly. Non-finite observations (NaN, ±Inf) are never binned —
+// they would poison the mass sums and Go leaves the int conversion of
+// such values unspecified — but counted in Rejected.
+//
+// Determinism: Add and Merge are plain float accumulations with no
+// randomization, so a fixed insertion/merge order reproduces the same
+// sketch bit for bit.
+type Sketch struct {
+	lo, hi   float64
+	counts   []uint64
+	mass     []float64 // per-bin sum of sample values
+	n        uint64
+	rejected uint64
+	sum      float64
+	min, max float64
+	raw      []float64 // exact buffer; nil once spilled
+	spilled  bool
+}
+
+// NewSketch builds an empty sketch with nbins equal-width bins over
+// [lo, hi]. nbins must be positive and the range finite and non-empty.
+func NewSketch(nbins int, lo, hi float64) (*Sketch, error) {
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: sketch needs at least 1 bin, got %d", nbins)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || hi <= lo {
+		return nil, fmt.Errorf("stats: sketch range [%v, %v] must be finite with hi > lo", lo, hi)
+	}
+	return &Sketch{
+		lo:     lo,
+		hi:     hi,
+		counts: make([]uint64, nbins),
+		mass:   make([]float64, nbins),
+	}, nil
+}
+
+// Bins returns the number of bins.
+func (sk *Sketch) Bins() int { return len(sk.counts) }
+
+// BinWidth returns the width of one bin, the documented worst-case
+// absolute error of a spilled Quantile over in-range samples.
+func (sk *Sketch) BinWidth() float64 { return (sk.hi - sk.lo) / float64(len(sk.counts)) }
+
+// Count returns how many observations were accepted.
+func (sk *Sketch) Count() int { return int(sk.n) }
+
+// Rejected returns how many non-finite observations Add refused.
+func (sk *Sketch) Rejected() int { return int(sk.rejected) }
+
+// Sum returns the exact sum of accepted observations.
+func (sk *Sketch) Sum() float64 { return sk.sum }
+
+// Mean returns the exact mean of accepted observations, or NaN when
+// empty.
+func (sk *Sketch) Mean() float64 {
+	if sk.n == 0 {
+		return math.NaN()
+	}
+	return sk.sum / float64(sk.n)
+}
+
+// Min returns the smallest accepted observation, or NaN when empty.
+func (sk *Sketch) Min() float64 {
+	if sk.n == 0 {
+		return math.NaN()
+	}
+	return sk.min
+}
+
+// Max returns the largest accepted observation, or NaN when empty.
+func (sk *Sketch) Max() float64 {
+	if sk.n == 0 {
+		return math.NaN()
+	}
+	return sk.max
+}
+
+// Exact reports whether queries still answer from the raw sample.
+func (sk *Sketch) Exact() bool { return !sk.spilled }
+
+// BinCounts returns the per-bin observation counts. Callers must not
+// modify the returned slice.
+func (sk *Sketch) BinCounts() []uint64 { return sk.counts }
+
+// Spill drops the raw exactness buffer, capping memory at O(bins).
+// Streaming callers (one sketch per machine, merged across thousands)
+// call it up front so no partial ever holds raw samples.
+func (sk *Sketch) Spill() {
+	sk.raw = nil
+	sk.spilled = true
+}
+
+// binIndex mirrors Histogram's convention: scale into [0, bins) and
+// clamp. The comparisons run on the scaled float before the int
+// conversion, so ±Inf clamp into the edge bins instead of hitting
+// Go's unspecified float-to-int conversion. x must not be NaN.
+func (sk *Sketch) binIndex(x float64) int {
+	scaled := float64(len(sk.counts)) * (x - sk.lo) / (sk.hi - sk.lo)
+	if scaled < 0 {
+		return 0
+	}
+	if scaled >= float64(len(sk.counts)) {
+		return len(sk.counts) - 1
+	}
+	return int(scaled)
+}
+
+// Add records one observation. Non-finite values are counted in
+// Rejected and otherwise ignored.
+func (sk *Sketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		sk.rejected++
+		return
+	}
+	i := sk.binIndex(x)
+	sk.counts[i]++
+	sk.mass[i] += x
+	sk.sum += x
+	if sk.n == 0 {
+		sk.min, sk.max = x, x
+	} else {
+		if x < sk.min {
+			sk.min = x
+		}
+		if x > sk.max {
+			sk.max = x
+		}
+	}
+	sk.n++
+	if !sk.spilled {
+		if len(sk.raw) >= DefaultSketchExactCap {
+			sk.Spill()
+		} else {
+			sk.raw = append(sk.raw, x)
+		}
+	}
+}
+
+// AddAll records every observation in xs.
+func (sk *Sketch) AddAll(xs []float64) {
+	for _, x := range xs {
+		sk.Add(x)
+	}
+}
+
+// Merge folds other into sk. Both sketches must share the same bin
+// geometry. The result is exact iff both inputs were exact and the
+// combined raw sample still fits the exactness cap; otherwise it
+// spills. Merging in a fixed order is deterministic.
+func (sk *Sketch) Merge(other *Sketch) error {
+	if len(sk.counts) != len(other.counts) || sk.lo != other.lo || sk.hi != other.hi {
+		return fmt.Errorf("stats: sketch merge geometry mismatch: %d bins [%v,%v] vs %d bins [%v,%v]",
+			len(sk.counts), sk.lo, sk.hi, len(other.counts), other.lo, other.hi)
+	}
+	if sk.spilled || other.spilled || len(sk.raw)+len(other.raw) > DefaultSketchExactCap {
+		sk.Spill()
+	} else {
+		sk.raw = append(sk.raw, other.raw...)
+	}
+	for i, c := range other.counts {
+		sk.counts[i] += c
+		sk.mass[i] += other.mass[i]
+	}
+	sk.sum += other.sum
+	sk.rejected += other.rejected
+	if other.n > 0 {
+		if sk.n == 0 {
+			sk.min, sk.max = other.min, other.max
+		} else {
+			if other.min < sk.min {
+				sk.min = other.min
+			}
+			if other.max > sk.max {
+				sk.max = other.max
+			}
+		}
+	}
+	sk.n += other.n
+	return nil
+}
+
+// sortedRaw returns the ascending raw sample (only valid while exact).
+func (sk *Sketch) sortedRaw() []float64 {
+	s := append([]float64(nil), sk.raw...)
+	slices.Sort(s)
+	return s
+}
+
+// rank returns the 1-based target rank for the p-quantile: ⌈p·n⌉
+// clamped to [1, n].
+func (sk *Sketch) rank(p float64) uint64 {
+	r := uint64(math.Ceil(p * float64(sk.n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > sk.n {
+		r = sk.n
+	}
+	return r
+}
+
+// Quantile returns the p-quantile: the empirical order statistic
+// x_(⌈p·n⌉), exactly while the raw buffer is live and within one bin
+// width afterwards (see the type comment for the bound). Unlike
+// Quantile/quantileSorted it does not interpolate between order
+// statistics, so compare it against the same order-statistic
+// convention. Returns NaN when empty.
+func (sk *Sketch) Quantile(p float64) float64 {
+	if sk.n == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sk.min
+	}
+	if p >= 1 {
+		return sk.max
+	}
+	r := sk.rank(p)
+	if !sk.spilled {
+		return sk.sortedRaw()[r-1]
+	}
+	var cum uint64
+	for b, c := range sk.counts {
+		if cum+c >= r {
+			// The rank-r sample lies in bin b; place the answer at the
+			// matching within-bin count fraction and clamp to the
+			// observed range so p near 0/1 stays exact at the edges.
+			x := sk.lo + sk.BinWidth()*(float64(b)+float64(r-cum)/float64(c))
+			if x < sk.min {
+				x = sk.min
+			}
+			if x > sk.max {
+				x = sk.max
+			}
+			return x
+		}
+		cum += c
+	}
+	return sk.max
+}
+
+// CDF returns P(X <= x): exact while the raw buffer is live, and
+// afterwards exact at bin boundaries with linear interpolation inside
+// a bin. Returns NaN when empty.
+func (sk *Sketch) CDF(x float64) float64 {
+	if sk.n == 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if !sk.spilled {
+		return float64(searchGT(sk.sortedRaw(), x)) / float64(sk.n)
+	}
+	if x < sk.lo {
+		return 0
+	}
+	if x >= sk.hi {
+		return 1
+	}
+	w := sk.BinWidth()
+	b := sk.binIndex(x)
+	var cum uint64
+	for i := 0; i < b; i++ {
+		cum += sk.counts[i]
+	}
+	frac := (x - (sk.lo + float64(b)*w)) / w
+	return (float64(cum) + frac*float64(sk.counts[b])) / float64(sk.n)
+}
+
+// CountMedian returns the median observation (Quantile(0.5)).
+func (sk *Sketch) CountMedian() float64 { return sk.Quantile(0.5) }
+
+// MassMedian returns the value x where half of the total mass lies in
+// observations <= x — the streaming analogue of MassCount.MassMedian.
+// Within one bin width of the exact answer once spilled. Returns NaN
+// for empty or non-positive-mass sketches.
+func (sk *Sketch) MassMedian() float64 {
+	if sk.n == 0 || sk.sum <= 0 {
+		return math.NaN()
+	}
+	if !sk.spilled {
+		if mc := NewMassCount(sk.raw); mc != nil {
+			return mc.MassMedian()
+		}
+		return math.NaN()
+	}
+	half := sk.sum / 2
+	var cum float64
+	for b, m := range sk.mass {
+		if cum+m >= half {
+			frac := 0.0
+			if m > 0 {
+				frac = (half - cum) / m
+			}
+			x := sk.lo + sk.BinWidth()*(float64(b)+frac)
+			if x < sk.min {
+				x = sk.min
+			}
+			if x > sk.max {
+				x = sk.max
+			}
+			return x
+		}
+		cum += m
+	}
+	return sk.max
+}
+
+// MMDistance returns MassMedian - CountMedian, the paper's mm-distance
+// in value units; within two bin widths of the exact kernel once
+// spilled.
+func (sk *Sketch) MMDistance() float64 { return sk.MassMedian() - sk.CountMedian() }
+
+// JointRatio returns the mass-count crossing point (itemsPct, massPct)
+// where count CDF + mass CDF = 1, mirroring MassCount.JointRatio at
+// bin resolution: itemsPct% of the largest items carry massPct% of
+// the mass. Returns (NaN, NaN) for empty or non-positive-mass
+// sketches.
+func (sk *Sketch) JointRatio() (itemsPct, massPct float64) {
+	if sk.n == 0 || sk.sum <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	if !sk.spilled {
+		if mc := NewMassCount(sk.raw); mc != nil {
+			return mc.JointRatio()
+		}
+		return math.NaN(), math.NaN()
+	}
+	prevFc, prevFm := 0.0, 0.0
+	var cumN uint64
+	var cumM float64
+	for b := range sk.counts {
+		cumN += sk.counts[b]
+		cumM += sk.mass[b]
+		fc := float64(cumN) / float64(sk.n)
+		fm := cumM / sk.sum
+		if fc+fm >= 1 {
+			dfc, dfm := fc-prevFc, fm-prevFm
+			t := 1.0
+			if dfc+dfm > 0 {
+				t = (1 - prevFc - prevFm) / (dfc + dfm)
+			}
+			cross := prevFc + t*dfc
+			return round1(100 * (1 - cross)), round1(100 * cross)
+		}
+		prevFc, prevFm = fc, fm
+	}
+	return 0, 100
+}

@@ -1,0 +1,336 @@
+package stats
+
+import (
+	"math"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// sketchWorkloads are the seeded sample shapes the randomized
+// equivalence tests sweep: smooth, bimodal (the adversary for
+// interpolating quantiles) and heavily skewed with range clamping.
+func sketchWorkloads(n int) map[string][]float64 {
+	mk := func(label string, gen func(s *rng.Stream) float64) []float64 {
+		s := rng.New(42).Child(label)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gen(s)
+		}
+		return xs
+	}
+	return map[string][]float64{
+		"uniform": mk("uniform", func(s *rng.Stream) float64 { return 100 * s.Float64() }),
+		"bimodal": mk("bimodal", func(s *rng.Stream) float64 {
+			if s.Bool(0.5) {
+				return 5 + 3*s.Float64()
+			}
+			return 88 + 7*s.Float64()
+		}),
+		"skewed": mk("skewed", func(s *rng.Stream) float64 {
+			return 100 * math.Min(1, s.ExpFloat64()/6)
+		}),
+		"clamped": mk("clamped", func(s *rng.Stream) float64 {
+			return -20 + 140*s.Float64() // out-of-range tails clamp into edge bins
+		}),
+	}
+}
+
+// orderStat is the x_(⌈p·n⌉) convention Sketch.Quantile documents.
+func orderStat(sorted []float64, p float64) float64 {
+	r := int(math.Ceil(p * float64(len(sorted))))
+	if r < 1 {
+		r = 1
+	}
+	if r > len(sorted) {
+		r = len(sorted)
+	}
+	return sorted[r-1]
+}
+
+// TestSketchMatchesExactQuantiles is the oracle test for the error
+// bound: a spilled sketch's quantiles stay within one bin width of the
+// exact order statistic for in-range samples, over several seeded
+// workloads and bin resolutions.
+func TestSketchMatchesExactQuantiles(t *testing.T) {
+	probes := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	for name, xs := range sketchWorkloads(3 * DefaultSketchExactCap) {
+		for _, nbins := range []int{10, 100, 1000} {
+			sk, err := NewSketch(nbins, 0, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sk.AddAll(xs)
+			if sk.Exact() {
+				t.Fatalf("%s: sketch still exact after %d > cap samples", name, len(xs))
+			}
+			// Clamp like the sketch does, then sort: the bound is stated
+			// over the binned (clamped) sample.
+			clamped := make([]float64, len(xs))
+			for i, x := range xs {
+				clamped[i] = math.Min(100, math.Max(0, x))
+			}
+			slices.Sort(clamped)
+			w := sk.BinWidth()
+			for _, p := range probes {
+				got, want := sk.Quantile(p), orderStat(clamped, p)
+				if math.Abs(got-want) > w {
+					t.Errorf("%s bins=%d: Quantile(%g) = %g, exact %g, |err| > bin width %g",
+						name, nbins, p, got, want, w)
+				}
+			}
+			if cm := sk.CountMedian(); math.Abs(cm-orderStat(clamped, 0.5)) > w {
+				t.Errorf("%s bins=%d: CountMedian err > %g", name, nbins, w)
+			}
+		}
+	}
+}
+
+// TestSketchMomentsExact checks the always-exact summaries: count,
+// sum, mean, min, max match the flat sample regardless of spilling.
+func TestSketchMomentsExact(t *testing.T) {
+	for name, xs := range sketchWorkloads(2*DefaultSketchExactCap + 17) {
+		sk, err := NewSketch(64, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk.AddAll(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		if sk.Count() != len(xs) {
+			t.Errorf("%s: Count = %d, want %d", name, sk.Count(), len(xs))
+		}
+		if sk.Sum() != sum {
+			t.Errorf("%s: Sum = %g, want %g", name, sk.Sum(), sum)
+		}
+		if sk.Mean() != sum/float64(len(xs)) {
+			t.Errorf("%s: Mean = %g, want %g", name, sk.Mean(), sum/float64(len(xs)))
+		}
+		if sk.Min() != Min(xs) || sk.Max() != Max(xs) {
+			t.Errorf("%s: Min/Max = %g/%g, want %g/%g", name, sk.Min(), sk.Max(), Min(xs), Max(xs))
+		}
+	}
+}
+
+// TestSketchBinCountsMatchHistogram pins the shared bin convention:
+// over any finite sample the sketch's per-bin counts equal
+// Histogram.Counts exactly, clamping included.
+func TestSketchBinCountsMatchHistogram(t *testing.T) {
+	for name, xs := range sketchWorkloads(5000) {
+		for _, nbins := range []int{7, 50} {
+			sk, err := NewSketch(nbins, 0, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sk.AddAll(xs)
+			h := NewHistogram(xs, nbins, 0, 100)
+			for i, c := range sk.BinCounts() {
+				if int(c) != h.Counts[i] {
+					t.Fatalf("%s bins=%d: bin %d sketch=%d histogram=%d", name, nbins, i, c, h.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSketchExactModeMatchesSample: below the cap, quantiles are the
+// order statistics themselves and the CDF is the ECDF.
+func TestSketchExactModeMatchesSample(t *testing.T) {
+	xs := sketchWorkloads(1000)["bimodal"]
+	sk, err := NewSketch(10, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddAll(xs)
+	if !sk.Exact() {
+		t.Fatal("sketch spilled below the cap")
+	}
+	sorted := append([]float64(nil), xs...)
+	slices.Sort(sorted)
+	for _, p := range []float64{0, 0.01, 0.3, 0.5, 0.77, 1} {
+		if got, want := sk.Quantile(p), orderStat(sorted, p); got != want {
+			t.Errorf("exact Quantile(%g) = %g, want order statistic %g", p, got, want)
+		}
+	}
+	e := NewECDF(xs)
+	for _, x := range []float64{0, 5.5, 50, 89.2, 100} {
+		if got, want := sk.CDF(x), e.Eval(x); got != want {
+			t.Errorf("exact CDF(%g) = %g, want ECDF %g", x, got, want)
+		}
+	}
+}
+
+// TestSketchMergeMatchesSequential: partial sketches merged in a fixed
+// order reproduce the sequentially-built sketch bit for bit, and the
+// merged answers obey the same error bound.
+func TestSketchMergeMatchesSequential(t *testing.T) {
+	xs := sketchWorkloads(3 * DefaultSketchExactCap)["skewed"]
+	whole, _ := NewSketch(200, 0, 100)
+	whole.Spill()
+	whole.AddAll(xs)
+
+	merged, _ := NewSketch(200, 0, 100)
+	merged.Spill()
+	const chunks = 7
+	for c := 0; c < chunks; c++ {
+		part, _ := NewSketch(200, 0, 100)
+		part.Spill()
+		for i := c; i < len(xs); i += chunks {
+			part.Add(xs[i])
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("merged count/min/max differ from sequential")
+	}
+	for i, c := range merged.BinCounts() {
+		if c != whole.BinCounts()[i] {
+			t.Fatalf("bin %d: merged %d, sequential %d", i, c, whole.BinCounts()[i])
+		}
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if merged.Quantile(p) != whole.Quantile(p) {
+			t.Errorf("Quantile(%g): merged %g != sequential %g", p, merged.Quantile(p), whole.Quantile(p))
+		}
+	}
+}
+
+// TestSketchMergeExactness: merging exact sketches stays exact while
+// the combined sample fits the cap, and spills beyond it.
+func TestSketchMergeExactness(t *testing.T) {
+	small := func(n int, base float64) *Sketch {
+		sk, _ := NewSketch(10, 0, 100)
+		for i := 0; i < n; i++ {
+			sk.Add(base + float64(i%10))
+		}
+		return sk
+	}
+	a := small(100, 10)
+	if err := a.Merge(small(200, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Exact() {
+		t.Error("merge of 300 raw samples spilled below the cap")
+	}
+	if err := a.Merge(small(DefaultSketchExactCap, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Exact() {
+		t.Error("merge past the cap stayed exact")
+	}
+}
+
+// TestSketchMergeGeometryMismatch: incompatible bin layouts must be
+// refused, not silently mangled.
+func TestSketchMergeGeometryMismatch(t *testing.T) {
+	a, _ := NewSketch(10, 0, 100)
+	for _, bad := range []*Sketch{
+		func() *Sketch { s, _ := NewSketch(20, 0, 100); return s }(),
+		func() *Sketch { s, _ := NewSketch(10, 0, 50); return s }(),
+		func() *Sketch { s, _ := NewSketch(10, 1, 100); return s }(),
+	} {
+		err := a.Merge(bad)
+		if err == nil || !strings.Contains(err.Error(), "geometry mismatch") {
+			t.Errorf("Merge(%d bins [%v,%v]) err = %v, want geometry mismatch", bad.Bins(), bad.lo, bad.hi, err)
+		}
+	}
+}
+
+// TestSketchRejectsNonFinite: NaN and ±Inf never reach the bins or the
+// moments; they only tick Rejected.
+func TestSketchRejectsNonFinite(t *testing.T) {
+	sk, _ := NewSketch(10, 0, 100)
+	sk.AddAll([]float64{10, math.NaN(), 20, math.Inf(1), math.Inf(-1), 30})
+	if sk.Count() != 3 || sk.Rejected() != 3 {
+		t.Fatalf("Count/Rejected = %d/%d, want 3/3", sk.Count(), sk.Rejected())
+	}
+	if sk.Sum() != 60 || sk.Min() != 10 || sk.Max() != 30 {
+		t.Errorf("moments polluted: sum=%g min=%g max=%g", sk.Sum(), sk.Min(), sk.Max())
+	}
+	var binned uint64
+	for _, c := range sk.BinCounts() {
+		binned += c
+	}
+	if binned != 3 {
+		t.Errorf("binned %d observations, want 3", binned)
+	}
+	// Rejections survive merges.
+	other, _ := NewSketch(10, 0, 100)
+	other.Add(math.NaN())
+	if err := sk.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Rejected() != 4 {
+		t.Errorf("merged Rejected = %d, want 4", sk.Rejected())
+	}
+}
+
+// TestSketchMassCountBounds: mass-median and mm-distance stay within
+// their documented one- and two-bin-width bounds of the exact
+// MassCount kernel (in the sketch's order-statistic convention).
+func TestSketchMassCountBounds(t *testing.T) {
+	for name, xs := range sketchWorkloads(3 * DefaultSketchExactCap) {
+		clamped := make([]float64, len(xs))
+		for i, x := range xs {
+			clamped[i] = math.Min(100, math.Max(0, x))
+		}
+		sk, _ := NewSketch(200, 0, 100)
+		sk.Spill()
+		sk.AddAll(clamped)
+		mc := NewMassCount(clamped)
+		if mc == nil {
+			t.Fatalf("%s: exact mass-count unavailable", name)
+		}
+		w := sk.BinWidth()
+		if err := math.Abs(sk.MassMedian() - mc.MassMedian()); err > w {
+			t.Errorf("%s: MassMedian err %g > bin width %g", name, err, w)
+		}
+		sorted := append([]float64(nil), clamped...)
+		slices.Sort(sorted)
+		exactMM := mc.MassMedian() - orderStat(sorted, 0.5)
+		if err := math.Abs(sk.MMDistance() - exactMM); err > 2*w {
+			t.Errorf("%s: MMDistance err %g > 2 bin widths %g", name, err, 2*w)
+		}
+	}
+}
+
+// TestSketchEmptyAndDegenerate pins the edge behaviours: empty
+// sketches answer NaN, NaN probes answer NaN, and constructor
+// validation rejects bad geometry.
+func TestSketchEmptyAndDegenerate(t *testing.T) {
+	if _, err := NewSketch(0, 0, 1); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewSketch(10, 1, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewSketch(10, 0, math.NaN()); err == nil {
+		t.Error("NaN range accepted")
+	}
+	sk, _ := NewSketch(10, 0, 1)
+	if !math.IsNaN(sk.Quantile(0.5)) || !math.IsNaN(sk.CDF(0.5)) || !math.IsNaN(sk.Mean()) {
+		t.Error("empty sketch answered a number")
+	}
+	sk.Add(0.5)
+	if !math.IsNaN(sk.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) answered a number")
+	}
+	if !math.IsNaN(sk.CDF(math.NaN())) {
+		t.Error("CDF(NaN) answered a number")
+	}
+	// Single-value sample: every quantile is that value, spilled or not.
+	one, _ := NewSketch(10, 0, 1)
+	one.Spill()
+	one.Add(0.25)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(p); got != 0.25 {
+			t.Errorf("single-sample Quantile(%g) = %g, want 0.25", p, got)
+		}
+	}
+}

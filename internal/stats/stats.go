@@ -30,7 +30,8 @@ func Mean(xs []float64) float64 {
 	return Sum(xs) / float64(len(xs))
 }
 
-// Variance returns the population variance of xs, or NaN if len < 1.
+// Variance returns the population variance of xs, or NaN for an empty
+// slice.
 func Variance(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -159,6 +160,7 @@ type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	total  int
+	nan    int
 }
 
 // NewHistogram bins xs into nbins equal-width bins over [lo, hi].
@@ -171,30 +173,43 @@ func NewHistogram(xs []float64, nbins int, lo, hi float64) *Histogram {
 	return h
 }
 
-// Add records one observation.
+// Add records one observation. NaN observations are never binned —
+// Go's float-to-int conversion of NaN is unspecified, and before this
+// guard they silently landed in bin 0, skewing the distribution — but
+// counted separately in NaN.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nan++
+		return
+	}
 	i := h.binIndex(x)
 	h.Counts[i]++
 	h.total++
 }
 
+// binIndex clamps on the scaled float before the int conversion so
+// that ±Inf (whose direct conversion is likewise unspecified) lands in
+// the edge bin its sign points at. x must not be NaN.
 func (h *Histogram) binIndex(x float64) int {
 	n := len(h.Counts)
 	if h.Hi <= h.Lo {
 		return 0
 	}
-	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
-	if i < 0 {
+	scaled := float64(n) * (x - h.Lo) / (h.Hi - h.Lo)
+	if scaled < 0 {
 		return 0
 	}
-	if i >= n {
+	if scaled >= float64(n) {
 		return n - 1
 	}
-	return i
+	return int(scaled)
 }
 
 // Total returns the number of observations recorded.
 func (h *Histogram) Total() int { return h.total }
+
+// NaN returns the number of NaN observations Add rejected.
+func (h *Histogram) NaN() int { return h.nan }
 
 // PDF returns the probability mass per bin (sums to 1 for non-empty
 // histograms).

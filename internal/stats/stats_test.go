@@ -380,3 +380,66 @@ func TestMassCountMediansBracketDistribution(t *testing.T) {
 		t.Fatalf("heavy tail should have mass median %v > count median %v", mm, cm)
 	}
 }
+
+// TestHistogramRejectsNaN is the regression for the silent NaN
+// binning: int(NaN * anything) is unspecified in Go, and before the
+// guard NaN observations quietly landed in bin 0. They must be counted
+// apart instead.
+func TestHistogramRejectsNaN(t *testing.T) {
+	h := NewHistogram([]float64{0.1, math.NaN(), 0.9, math.NaN()}, 10, 0, 1)
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (NaN excluded)", h.Total())
+	}
+	if h.NaN() != 2 {
+		t.Errorf("NaN = %d, want 2", h.NaN())
+	}
+	if h.Counts[0] != 0 {
+		t.Errorf("bin 0 count = %d, want 0 — NaN leaked into the first bin", h.Counts[0])
+	}
+	var total int
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("binned %d, want 2", total)
+	}
+	// ±Inf clamp into the edge bins via the scaled-float comparison.
+	h2 := NewHistogram([]float64{math.Inf(-1), math.Inf(1)}, 4, 0, 1)
+	if h2.Counts[0] != 1 || h2.Counts[3] != 1 {
+		t.Errorf("±Inf bins = %v, want edge bins", h2.Counts)
+	}
+}
+
+// TestECDFPointsSingleValue pins the degenerate lo == hi grid: a
+// constant sample yields n duplicate, finite points at (v, 1) rather
+// than NaN xs from a 0/0 interpolation.
+func TestECDFPointsSingleValue(t *testing.T) {
+	e := NewECDF([]float64{7, 7, 7})
+	xs, ys := e.Points(5)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatalf("got %d/%d points, want 5/5", len(xs), len(ys))
+	}
+	for i := range xs {
+		if xs[i] != 7 || ys[i] != 1 {
+			t.Errorf("point %d = (%v, %v), want (7, 1)", i, xs[i], ys[i])
+		}
+	}
+}
+
+// TestMassCountCurveSingleValue pins the same degenerate grid for the
+// mass-count curve: n duplicate points, both CDFs at 1, nothing NaN.
+func TestMassCountCurveSingleValue(t *testing.T) {
+	mc := NewMassCount([]float64{3, 3})
+	if mc == nil {
+		t.Fatal("constant positive sample rejected")
+	}
+	xs, count, mass := mc.Curve(4)
+	if len(xs) != 4 {
+		t.Fatalf("got %d points, want 4", len(xs))
+	}
+	for i := range xs {
+		if xs[i] != 3 || count[i] != 1 || mass[i] != 1 {
+			t.Errorf("point %d = (%v, %v, %v), want (3, 1, 1)", i, xs[i], count[i], mass[i])
+		}
+	}
+}

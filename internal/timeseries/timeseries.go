@@ -147,17 +147,29 @@ func (s *Series) Autocorrelation(lag int) float64 {
 // Quantize maps each value to a level index in [0, levels) assuming
 // values lie in [0, 1]; out-of-range values are clamped. These are the
 // paper's five usage intervals [0,0.2), [0.2,0.4), ... [0.8,1].
+//
+// NaN samples map to level -1: Go's float-to-int conversion of NaN is
+// unspecified, and before this guard NaN quietly landed in level 0,
+// inflating the idle share. Level-segmentation consumers skip negative
+// levels. The clamps run on the scaled float before the int
+// conversion, so ±Inf (likewise unspecified to convert) clamp into
+// the edge levels.
 func (s *Series) Quantize(levels int) []int {
 	out := make([]int, len(s.Values))
 	for i, v := range s.Values {
-		l := int(v * float64(levels))
-		if l < 0 {
-			l = 0
+		if math.IsNaN(v) {
+			out[i] = -1
+			continue
 		}
-		if l >= levels {
-			l = levels - 1
+		scaled := v * float64(levels)
+		switch {
+		case scaled < 0:
+			out[i] = 0
+		case scaled >= float64(levels):
+			out[i] = levels - 1
+		default:
+			out[i] = int(scaled)
 		}
-		out[i] = l
 	}
 	return out
 }

@@ -324,3 +324,36 @@ func TestAutocorrelationDelegates(t *testing.T) {
 		t.Fatal("smooth series should autocorrelate")
 	}
 }
+
+// TestQuantizeNonFinite is the regression for unspecified float-to-int
+// conversion: NaN samples must map to the -1 sentinel (they used to
+// land in an arbitrary level, typically 0, inflating the idle share),
+// and ±Inf must clamp into the edge levels via the scaled-float
+// comparison.
+func TestQuantizeNonFinite(t *testing.T) {
+	s := &Series{Step: 300, Values: []float64{0.1, math.NaN(), 0.95, math.Inf(1), math.Inf(-1), -0.3, 1.7}}
+	got := s.Quantize(5)
+	want := []int{0, -1, 4, 4, 0, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantize[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSegmentsSkipNaNLevels checks a NaN gap splits the neighbouring
+// runs instead of extending them: the -1 sentinel forms its own
+// segment consumers can skip.
+func TestSegmentsSkipNaNLevels(t *testing.T) {
+	s := &Series{Step: 300, Values: []float64{0.1, 0.1, math.NaN(), 0.1}}
+	segs := s.LevelSegments(5)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3 (run, NaN gap, run): %+v", len(segs), segs)
+	}
+	if segs[1].Level != -1 {
+		t.Errorf("gap level = %d, want -1", segs[1].Level)
+	}
+	if segs[0].Duration != 600 || segs[2].Duration != 300 {
+		t.Errorf("runs spanned the gap: %+v", segs)
+	}
+}

@@ -79,8 +79,8 @@ func TestExperimentsRegistry(t *testing.T) {
 	if len(Experiments()) != 15 {
 		t.Fatalf("want 15 experiments, got %d", len(Experiments()))
 	}
-	if len(ExtensionExperiments()) != 4 {
-		t.Fatalf("want 4 extensions, got %d", len(ExtensionExperiments()))
+	if len(ExtensionExperiments()) != 5 {
+		t.Fatalf("want 5 extensions, got %d", len(ExtensionExperiments()))
 	}
 }
 
