@@ -10,7 +10,7 @@ BENCHTIME ?= 100ms
 # BENCH_pr2.json and silently diff against a stale snapshot once the
 # PR counter hits double digits. sort -t_ -k2.3 -n keys on the digits
 # after "BENCH_pr" instead.
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 BENCH_BASE ?= $(shell ls BENCH_pr*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -t_ -k2.3 -n | tail -n1)
 
 .PHONY: build test race bench bench-parallel verify repro-quick check ci fmt-check bench-json bench-diff chaos
@@ -62,17 +62,22 @@ check: fmt-check chaos
 		./cmd/repro ./internal/core
 	$(GO) test -run 'TestReferencePlacementByteIdentical' ./internal/cluster
 	$(GO) test -run 'TestSketchMatchesExact|TestUsageSketchMatchesExactUsage' ./internal/stats ./internal/hostload
+	$(GO) test -run 'TestMetricsExposition|TestAccessLogWritten' ./cmd/reprod
+	$(GO) test -run 'TestColdRequestTraceChain|TestServedBytesIdenticalTraced' ./internal/serve
 	-$(MAKE) bench-diff BENCH_OUT=/tmp/BENCH_check.json
 
 # Machine-readable benchmark snapshot: the pipeline benches (including
 # the resilient-runner overhead and warm checkpoint-resume pair) plus
-# the simulator, observability, and checkpoint micro-benches, as JSON.
+# the simulator, observability, and checkpoint micro-benches, and the
+# reprobench serving load test (hot/cold mix against a self-hosted
+# daemon, with the server-vs-client quantile cross-check), as JSON.
 bench-json:
 	$(GO) test -bench='BenchmarkRunAll(Serial|Parallel|ParallelInstrumented|ParallelResilient|CheckpointWarm)$$' -benchmem -benchtime=$(BENCHTIME) -run=^$$ . > /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/cluster >> /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/obs >> /tmp/bench_root.txt
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/ckpt >> /tmp/bench_root.txt
 	$(GO) test -bench='BenchmarkUsageSamples(Exact|Streaming)$$' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/hostload >> /tmp/bench_root.txt
+	$(GO) run ./cmd/reprobench -requests 128 -concurrency 8 >> /tmp/bench_root.txt
 	cat /tmp/bench_root.txt | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 

@@ -11,9 +11,13 @@
 //	       [-checkpoint-dir dir] [-prewarm] [-max-inflight n]
 //	       [-max-queue n] [-max-contexts n] [-build-timeout d]
 //	       [-drain-timeout d] [-metrics-out file]
+//	       [-access-log file] [-access-log-sample n]
+//	       [-trace-buffer n] [-runtime-sample d]
 //
 // Endpoints (see README "Serving" for the full table): /healthz,
-// /metrics (JSONL registry snapshot), /v1/experiments, /v1/report,
+// /metrics (Prometheus text by default, ?format=jsonl for the PR5
+// JSONL), /debug/trace and /debug/trace/{traceID} (span export, JSONL
+// or ?format=chrome), /v1/experiments, /v1/report,
 // /v1/artifacts/{id} (?format=json|md), /v1/artifacts/{id}/tables/{t}
 // (CSV), /v1/artifacts/{id}/series/{s} (.dat). Artifact routes accept
 // ?seed=&machines=&days=&workload_days= scenario overrides, served
@@ -22,6 +26,14 @@
 // predictions (plain text byte-identical to cmd/predict, ?format=json
 // for the structured report) through the same gate, coalescer and an
 // LRU of finished reports.
+//
+// Every request is traced: an incoming `traceparent` header joins its
+// trace, the response echoes X-Trace-Id, and the request's span tree
+// (gate wait, coalescing, experiment, cell builds, checkpoint I/O) is
+// retrievable from /debug/trace/{traceID} while it remains in the
+// bounded span ring (-trace-buffer). -access-log streams one JSONL
+// record per request (-access-log-sample n keeps every nth);
+// -runtime-sample publishes goroutine/heap/GC gauges at that period.
 //
 // Concurrent requests for the same cold artifact are coalesced into
 // one build; -checkpoint-dir warm-starts from (and feeds) the same
@@ -79,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		buildTimeout = fs.Duration("build-timeout", 0, "per-artifact build deadline (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for in-flight requests")
 		metricsOut   = fs.String("metrics-out", "", "write the metrics registry and spans as JSONL here at shutdown")
+		accessLog    = fs.String("access-log", "", "append structured JSONL access records here (- for stderr)")
+		accessSample = fs.Int("access-log-sample", 1, "log every nth request (head-based, deterministic; 1 = all)")
+		traceBuffer  = fs.Int("trace-buffer", 4096, "span ring capacity for /debug/trace (bounded memory)")
+		runtimePd    = fs.Duration("runtime-sample", 10*time.Second, "runtime gauge sampling period (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -124,6 +140,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "reprod: timeouts must be non-negative\n")
 		return 2
 	}
+	if *accessSample < 1 {
+		fmt.Fprintf(stderr, "reprod: -access-log-sample must be >= 1, got %d\n", *accessSample)
+		return 2
+	}
+	if *traceBuffer < 1 {
+		fmt.Fprintf(stderr, "reprod: -trace-buffer must be >= 1, got %d\n", *traceBuffer)
+		return 2
+	}
+	if *runtimePd < 0 {
+		fmt.Fprintf(stderr, "reprod: -runtime-sample must be non-negative\n")
+		return 2
+	}
 
 	rec := obs.NewRecorder()
 	var store *ckpt.Store
@@ -135,6 +163,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 	}
 
+	var accessW io.Writer
+	var accessF *os.File
+	if *accessLog == "-" {
+		accessW = stderr
+	} else if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "reprod: %v\n", err)
+			return 1
+		}
+		accessF, accessW = f, f
+		defer accessF.Close()
+	}
+
+	sampler := obs.StartRuntimeSampler(rec.Registry(), *runtimePd)
+	defer sampler.Stop()
+
 	// rootCtx is the server's lifetime: artifact builds run under it, so
 	// it stays alive through a graceful drain and is cancelled only when
 	// the drain times out or a second signal demands a hard stop.
@@ -142,14 +187,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	defer cancelRoot(nil)
 
 	srv := serve.New(serve.Config{
-		Base:         cfg,
-		Store:        store,
-		Rec:          rec,
-		BaseContext:  rootCtx,
-		MaxInflight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		MaxContexts:  *maxContexts,
-		BuildTimeout: *buildTimeout,
+		Base:            cfg,
+		Store:           store,
+		Rec:             rec,
+		BaseContext:     rootCtx,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		MaxContexts:     *maxContexts,
+		BuildTimeout:    *buildTimeout,
+		AccessLog:       accessW,
+		AccessLogSample: *accessSample,
+		TraceBuffer:     *traceBuffer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

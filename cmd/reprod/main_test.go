@@ -25,6 +25,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"negative queue", []string{"-max-queue", "-1"}, "-max-queue"},
 		{"zero contexts", []string{"-max-contexts", "0"}, "-max-contexts"},
 		{"negative build timeout", []string{"-build-timeout", "-1s"}, "non-negative"},
+		{"zero access sample", []string{"-access-log-sample", "0"}, "-access-log-sample"},
+		{"zero trace buffer", []string{"-trace-buffer", "0"}, "-trace-buffer"},
+		{"negative runtime sample", []string{"-runtime-sample", "-1s"}, "-runtime-sample"},
 		{"unparseable flag", []string{"-machines", "lots"}, "invalid value"},
 	}
 	for _, tc := range cases {
@@ -93,7 +96,8 @@ func TestRunServeAndDrain(t *testing.T) {
 	}{
 		{"/healthz", http.StatusOK, `"status":"ok"`},
 		{"/v1/experiments", http.StatusOK, "fig2"},
-		{"/metrics", http.StatusOK, "serve.req.total"},
+		{"/metrics", http.StatusOK, "serve_req_total"},
+		{"/metrics?format=jsonl", http.StatusOK, "serve.req.total"},
 		{"/v1/artifacts/nonsense", http.StatusNotFound, "unknown experiment"},
 		{"/v1/predict?system=AuverGrid&hosts=2&days=1", http.StatusOK, "best-fit predictor"},
 		{"/v1/predict?system=Mars", http.StatusBadRequest, "system"},

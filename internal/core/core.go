@@ -294,7 +294,10 @@ func observedGet[T any](c *Context, name string, cl *cell[T], build func() (T, e
 	built := false
 	v, err := cl.get(func() (T, error) {
 		built = true
-		sp := c.rec.Span("build:"+name, obs.CatArtifact, obs.AutoTID)
+		// A traced caller (the serving path threads its request trace
+		// through c.Ctx()) gets the build as a trace child; the batch
+		// pipeline keeps its plain AutoTID span with MemStats deltas.
+		sp, _ := c.rec.StartSpan(c.Ctx(), "build:"+name, obs.CatArtifact)
 		start := time.Now()
 		defer func() {
 			c.rec.Registry().Gauge("core.cell." + name + ".build_seconds").Set(time.Since(start).Seconds())

@@ -21,16 +21,37 @@ import (
 // context cancellation surfaces unwrapped causes via errors.Is. A
 // checkpoint hit bypasses the build entirely, so it records no
 // core.cell.* activity and no experiment span.
+//
+// When ctx carries a request trace (the serving path), the checkpoint
+// load/save and the experiment run each become child spans of it, and
+// checkpoint hit/miss is noted on the request's annotation bag; the
+// untraced path (prewarm, tests) behaves exactly as before.
 func RunOne(ctx context.Context, c *Context, e Experiment, timeout time.Duration, store *ckpt.Store) (*Result, error) {
 	rec := c.Recorder()
+	ri := obs.ReqInfoFrom(ctx)
+	_, traced := obs.SpanFromContext(ctx)
+	if traced {
+		// One Chrome lane for the whole build side of this request: the
+		// context crossed the coalescer's goroutine boundary, so it has a
+		// span identity but no lane yet.
+		ctx = rec.PinLane(ctx)
+	}
 	if store.Enabled() {
+		var lsp *obs.Span
+		if traced {
+			lsp, _ = rec.StartSpan(ctx, "ckpt:load:"+e.ID, obs.CatServe)
+		}
 		var cached Result
-		if ok, _ := store.Load(CheckpointKey(c.Cfg, e.ID), &cached); ok && cached.ID == e.ID {
+		ok, _ := store.Load(CheckpointKey(c.Cfg, e.ID), &cached)
+		lsp.End()
+		if ok && cached.ID == e.ID {
+			ri.MarkCkptHit()
 			return &cached, nil
 		}
+		ri.MarkCkptMiss()
 	}
-	sp := rec.Span("exp:"+e.ID, obs.CatExperiment, obs.AutoTID)
-	r, err := runExperimentProtected(ctx, c, e, timeout)
+	sp, runCtx := rec.StartSpan(ctx, "exp:"+e.ID, obs.CatExperiment)
+	r, err := runExperimentProtected(runCtx, c, e, timeout)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", e.ID, err)
@@ -38,7 +59,12 @@ func RunOne(ctx context.Context, c *Context, e Experiment, timeout time.Duration
 	if store.Enabled() && !r.Failed() {
 		// Best-effort, exactly like the batch runner: an unwritable
 		// artifact is simply not checkpointed (ckpt.skip counts it).
+		var ssp *obs.Span
+		if traced {
+			ssp, _ = rec.StartSpan(ctx, "ckpt:save:"+e.ID, obs.CatServe)
+		}
 		_ = store.Save(CheckpointKey(c.Cfg, e.ID), r)
+		ssp.End()
 	}
 	return r, nil
 }

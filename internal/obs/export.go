@@ -74,7 +74,32 @@ type chromeEvent struct {
 // trace lane, in the JSON object format Perfetto and chrome://tracing
 // load directly.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	spans := r.Spans()
+	return WriteSpansChromeTrace(w, r.Spans())
+}
+
+// WriteSpansJSONL writes a span slice as JSONL, one "type":"span"
+// object per line — the incremental wire format of the daemon's
+// /debug/trace endpoints (a poller resumes from the last Seq it saw).
+func WriteSpansJSONL(w io.Writer, spans []SpanRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range spans {
+		line := struct {
+			Type string `json:"type"`
+			SpanRecord
+		}{Type: "span", SpanRecord: sp}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("obs: encode span %s: %w", sp.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSpansChromeTrace writes an arbitrary span slice (a whole
+// recorder dump, or one trace's spans) in Chrome trace_event format.
+// Trace identity travels in each event's args, so a loaded trace shows
+// span/parent IDs in the Perfetto details pane.
+func WriteSpansChromeTrace(w io.Writer, spans []SpanRecord) error {
 	events := make([]chromeEvent, 0, len(spans)+8)
 	events = append(events, chromeEvent{
 		Name: "process_name", Ph: "M", PID: 1, TID: 0,
@@ -114,6 +139,20 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				"alloc_bytes": sp.AllocBytes,
 				"mallocs":     sp.Mallocs,
 				"num_gc":      sp.NumGC,
+			}
+		}
+		if sp.TraceID != "" {
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, 4)
+			}
+			ev.Args["trace_id"] = sp.TraceID
+			ev.Args["span_id"] = sp.SpanID
+			if sp.ParentID != "" {
+				ev.Args["parent_id"] = sp.ParentID
+			}
+			if sp.LinkSpanID != "" {
+				ev.Args["link_trace_id"] = sp.LinkTraceID
+				ev.Args["link_span_id"] = sp.LinkSpanID
 			}
 		}
 		events = append(events, ev)

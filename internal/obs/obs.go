@@ -115,11 +115,12 @@ func (g *Gauge) Value() float64 {
 // Histogram counts observations into fixed buckets. Bucket i counts
 // observations v <= Upper[i]; an implicit +Inf bucket catches the rest.
 type Histogram struct {
-	name    string
-	uppers  []float64
-	buckets []atomic.Int64 // len(uppers)+1, last = +Inf
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	name     string
+	uppers   []float64
+	buckets  []atomic.Int64 // len(uppers)+1, last = +Inf
+	count    atomic.Int64
+	sumBits  atomic.Uint64 // float64 bits, CAS-accumulated
+	rejected atomic.Int64  // non-finite observations dropped
 }
 
 // Observe records one value.
@@ -127,8 +128,20 @@ func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
 
 // ObserveN records n identical observations (bulk publish from
 // single-threaded local tallies, e.g. the cluster simulator).
+//
+// Non-finite values are rejected and tallied separately (mirroring
+// stats.Histogram): a NaN would otherwise land in the +Inf bucket —
+// sort.SearchFloat64s sends every comparison-false value to the end —
+// and permanently poison the running sum. A sample exactly equal to a
+// bucket's upper bound lands in that bucket (le semantics: bucket i
+// counts v <= uppers[i]), deterministically, because SearchFloat64s
+// returns the first index with uppers[i] >= v.
 func (h *Histogram) ObserveN(v float64, n int64) {
 	if h == nil || n == 0 {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.rejected.Add(n)
 		return
 	}
 	i := sort.SearchFloat64s(h.uppers, v)
@@ -141,6 +154,14 @@ func (h *Histogram) ObserveN(v float64, n int64) {
 			return
 		}
 	}
+}
+
+// Rejected returns how many non-finite observations were dropped.
+func (h *Histogram) Rejected() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.rejected.Load()
 }
 
 // Snapshot returns the bucket upper bounds, per-bucket counts (the
@@ -165,6 +186,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	snapFuncs  []func() []MetricSnapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -228,30 +250,84 @@ func (r *Registry) Histogram(name string, uppers []float64) *Histogram {
 	return h
 }
 
-// MetricSnapshot is one metric's frozen state, as exported to JSONL.
+// Label is one name="value" pair attached to a metric snapshot
+// (Prometheus label semantics). The base registry metrics are
+// unlabeled; labeled series come from snapshot funcs (per-endpoint
+// latency quantiles, for example).
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// MetricSnapshot is one metric's frozen state, as exported to JSONL
+// and Prometheus text.
 type MetricSnapshot struct {
-	Name string `json:"name"`
-	Type string `json:"type"` // "counter" | "gauge" | "histogram"
+	Name   string  `json:"name"`
+	Type   string  `json:"type"` // "counter" | "gauge" | "histogram"
+	Labels []Label `json:"labels,omitempty"`
 
 	// Counter / gauge.
 	Value float64 `json:"value,omitempty"`
 
 	// Histogram: Le[i] pairs with Counts[i]; the final Counts entry is
 	// the +Inf bucket.
-	Le     []float64 `json:"le,omitempty"`
-	Counts []int64   `json:"counts,omitempty"`
-	Count  int64     `json:"count,omitempty"`
-	Sum    float64   `json:"sum,omitempty"`
+	Le       []float64 `json:"le,omitempty"`
+	Counts   []int64   `json:"counts,omitempty"`
+	Count    int64     `json:"count,omitempty"`
+	Sum      float64   `json:"sum,omitempty"`
+	Rejected int64     `json:"rejected,omitempty"` // non-finite samples dropped
 }
 
-// Snapshot freezes every metric, sorted by (type, name) so exports are
-// stable run-to-run.
+// AddSnapshotFunc registers a callback whose snapshots are appended on
+// every Snapshot call — the hook by which owners of richer state (the
+// serving layer's per-endpoint latency sketches) export computed,
+// possibly labeled series at scrape time. The callback must be safe
+// for concurrent use and must not call back into this registry.
+func (r *Registry) AddSnapshotFunc(fn func() []MetricSnapshot) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.snapFuncs = append(r.snapFuncs, fn)
+	r.mu.Unlock()
+}
+
+// labelsKey renders labels for sort comparison.
+func labelsKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// SortSnapshots orders snapshots by name, then labels, then type — the
+// canonical export order. Sorting by name first keeps every series of
+// one metric family adjacent, which the Prometheus text format
+// requires and which makes JSONL dumps diff cleanly across runs.
+func SortSnapshots(snaps []MetricSnapshot) {
+	slices.SortFunc(snaps, func(a, b MetricSnapshot) int {
+		if c := strings.Compare(a.Name, b.Name); c != 0 {
+			return c
+		}
+		if c := strings.Compare(labelsKey(a.Labels), labelsKey(b.Labels)); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Type, b.Type)
+	})
+}
+
+// Snapshot freezes every metric (registry-owned plus snapshot-func
+// series), deterministically ordered by metric name so exports diff
+// cleanly run-to-run.
 func (r *Registry) Snapshot() []MetricSnapshot {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
 		out = append(out, MetricSnapshot{Name: name, Type: "counter", Value: float64(c.Value())})
@@ -264,13 +340,16 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		out = append(out, MetricSnapshot{
 			Name: name, Type: "histogram",
 			Le: le, Counts: counts, Count: count, Sum: sum,
+			Rejected: h.Rejected(),
 		})
 	}
-	slices.SortFunc(out, func(a, b MetricSnapshot) int {
-		if a.Type != b.Type {
-			return strings.Compare(a.Type, b.Type)
-		}
-		return strings.Compare(a.Name, b.Name)
-	})
+	funcs := append([]func() []MetricSnapshot(nil), r.snapFuncs...)
+	r.mu.Unlock()
+	// Snapshot funcs run outside the registry lock so they may take
+	// their own locks freely.
+	for _, fn := range funcs {
+		out = append(out, fn()...)
+	}
+	SortSnapshots(out)
 	return out
 }

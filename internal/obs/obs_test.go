@@ -225,9 +225,12 @@ func TestRegistryWriteJSONL(t *testing.T) {
 			t.Fatalf("line %q is not a metric snapshot: %v", line, err)
 		}
 	}
-	// Snapshot order is (type, name), so the export is stable.
-	if !strings.Contains(lines[0], "serve.req.total") {
-		t.Errorf("first line %q, want the counter", lines[0])
+	// Snapshot order is metric name, so the export is stable and
+	// families stay adjacent: ctx.live < gate.wait_seconds < req.total.
+	for i, want := range []string{"serve.ctx.live", "serve.gate.wait_seconds", "serve.req.total"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want)
+		}
 	}
 
 	var nilReg *Registry

@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry
+// snapshot, plus a strict parser for it. Both live here so the daemon's
+// /metrics writer, the cmd/reprobench cross-check, and the CI
+// exposition gate share one definition of "valid".
+//
+// Name mapping: registry metric names are dotted ("serve.req.total");
+// Prometheus names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every
+// invalid rune becomes '_' ("serve_req_total"). The mapping is not
+// injective in general, but the registry's dotted names only ever
+// differ by dots-vs-underscores from their mangled forms, so in
+// practice collisions would require two registry names differing only
+// in separator — which SortSnapshots would surface as adjacent
+// duplicate families in the dump.
+
+// PromName mangles a registry metric name into a legal Prometheus
+// metric name.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format
+// (backslash, double-quote, newline).
+func promEscape(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (+Inf/-Inf/NaN
+// spellings; shortest round-trippable decimal otherwise).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set (plus an optional extra pair, used for
+// histogram le labels) as {a="b",...}, or "" when empty.
+func promLabels(ls []Label, extraName, extraVal string) string {
+	if len(ls) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, l := range ls {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(PromName(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders snapshots (already in SortSnapshots order —
+// Registry.Snapshot guarantees it) as Prometheus text exposition.
+// Counters become counter families; gauges gauge families; histograms
+// cumulative _bucket/_sum/_count families. A histogram's rejected
+// count, when nonzero, is exported as a separate
+// <name>_rejected_total counter family.
+func WritePrometheus(w io.Writer, snaps []MetricSnapshot) error {
+	bw := bufio.NewWriter(w)
+	seenType := make(map[string]string, len(snaps))
+	emitType := func(name, typ string) {
+		if seenType[name] == "" {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+			seenType[name] = typ
+		}
+	}
+	for _, m := range snaps {
+		name := PromName(m.Name)
+		switch m.Type {
+		case "counter":
+			emitType(name, "counter")
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+		case "gauge":
+			emitType(name, "gauge")
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+		case "histogram":
+			emitType(name, "histogram")
+			// Prometheus buckets are cumulative; the registry's are not.
+			var cum int64
+			for i, upper := range m.Le {
+				if i < len(m.Counts) {
+					cum += m.Counts[i]
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					name, promLabels(m.Labels, "le", promFloat(upper)), cum)
+			}
+			if n := len(m.Le); n < len(m.Counts) {
+				cum += m.Counts[n]
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(m.Labels, "le", "+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(m.Labels, "", ""), promFloat(m.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(m.Labels, "", ""), m.Count)
+			if m.Rejected > 0 {
+				rname := name + "_rejected_total"
+				emitType(rname, "counter")
+				fmt.Fprintf(bw, "%s%s %d\n", rname, promLabels(m.Labels, "", ""), m.Rejected)
+			}
+		default:
+			return fmt.Errorf("obs: unknown metric type %q for %s", m.Type, m.Name)
+		}
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed exposition sample: a metric name, its label
+// set (sorted by label name), and the value.
+type PromSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// PromDump is a parsed /metrics payload.
+type PromDump struct {
+	// Types maps family name -> declared type ("counter", ...).
+	Types map[string]string
+	// Samples holds every sample line in input order.
+	Samples []PromSample
+}
+
+// Value returns the sample value for name with exactly the given
+// labels (order-insensitive), and whether it was present.
+func (d *PromDump) Value(name string, labels ...Label) (float64, bool) {
+	want := append([]Label(nil), labels...)
+	sort.Slice(want, func(i, j int) bool { return want[i].Name < want[j].Name })
+	for _, s := range d.Samples {
+		if s.Name != name || len(s.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for i := range want {
+			if s.Labels[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParsePrometheus parses (and thereby validates) text exposition
+// produced by WritePrometheus — or any conforming exporter. It is
+// strict about everything this repo's own telemetry depends on:
+// metric-name and label syntax, float parsing, # TYPE declarations
+// preceding their family's first sample, and histogram bucket
+// monotonicity. It returns the first violation as an error with a line
+// number, making it usable as a CI gate.
+func ParsePrometheus(r io.Reader) (*PromDump, error) {
+	dump := &PromDump{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	// For bucket monotonicity: family+labels(minus le) -> last cumulative count.
+	lastBucket := make(map[string]float64)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, dup := dump.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s (was %s)", lineNo, name, prev)
+				}
+				dump.Types[name] = typ
+			}
+			continue // other comments (# HELP, plain #) are legal and skipped
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if fam, isBucket := strings.CutSuffix(s.Name, "_bucket"); isBucket && dump.Types[fam] == "histogram" {
+			key := fam + "{"
+			hasLe := false
+			for _, l := range s.Labels {
+				if l.Name == "le" {
+					hasLe = true
+					continue
+				}
+				key += l.Name + "=" + l.Value + ","
+			}
+			if !hasLe {
+				return nil, fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, s.Name)
+			}
+			if prev, ok := lastBucket[key]; ok && s.Value < prev {
+				return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative (%g < %g)",
+					lineNo, fam, s.Value, prev)
+			}
+			lastBucket[key] = s.Value
+		}
+		dump.Samples = append(dump.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan exposition: %w", err)
+	}
+	return dump, nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses `name{l="v",...} value [timestamp]`.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	// Metric name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++ // skip escaped char
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				close = i
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		s.Labels, err = parsePromLabels(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q: want value [timestamp] after name", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.Value = v
+	sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Name < s.Labels[j].Name })
+	return s, nil
+}
+
+func parsePromLabels(body string) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(body) {
+		// label name
+		j := i
+		for j < len(body) && body[j] != '=' {
+			j++
+		}
+		if j == len(body) {
+			return nil, fmt.Errorf("label set %q: missing '='", body)
+		}
+		name := strings.TrimSpace(body[i:j])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i = j + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s: bad escape \\%c", name, body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("label set %q: want ',' at %d", body, i)
+			}
+			i++
+		}
+	}
+	return out, nil
+}

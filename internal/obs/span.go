@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,8 @@ const (
 	CatArtifact   = "artifact"   // one memoized Context cell built
 	CatWorker     = "worker"     // one par worker's busy interval
 	CatStage      = "stage"      // a coarse pipeline stage (emit, report, ...)
+	CatRequest    = "request"    // one served HTTP request (root span)
+	CatServe      = "serve"      // serving internals: gate wait, coalesce, ckpt
 )
 
 // AutoTID asks the recorder to assign the span its own fresh trace
@@ -36,6 +39,23 @@ type SpanRecord struct {
 	AllocBytes int64  `json:"alloc_bytes"` // MemStats.TotalAlloc delta
 	Mallocs    int64  `json:"mallocs"`     // MemStats.Mallocs delta
 	NumGC      uint32 `json:"num_gc"`      // MemStats.NumGC delta
+
+	// Trace identity, set only for request-scoped spans (empty for the
+	// batch pipeline's untraced spans; omitted from JSON when empty so
+	// batch exports are unchanged).
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"` // parent span within the same trace
+	// Cross-trace link: a coalesced request's span points at the
+	// in-flight build leader's span in the leader's own trace.
+	LinkTraceID string `json:"link_trace_id,omitempty"`
+	LinkSpanID  string `json:"link_span_id,omitempty"`
+
+	// Seq is the record's position in the recorder's all-time span
+	// sequence (1-based, monotonically increasing, never reused). It
+	// survives ring-buffer eviction, so incremental exporters can poll
+	// SpansSince(lastSeq) without re-reading history.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Recorder collects spans and owns the run's metrics registry. The
@@ -45,10 +65,23 @@ type Recorder struct {
 	epoch    time.Time
 	registry *Registry
 
-	mu    sync.Mutex
-	spans []SpanRecord
+	// Span storage. With cap == 0 spans grows without bound (the batch
+	// pipeline's mode: every span is exported at exit). SetSpanCap turns
+	// it into a fixed-size ring: spans holds at most cap records and
+	// ringStart indexes the oldest, so a long-lived daemon keeps the
+	// freshest cap spans in bounded memory.
+	mu        sync.Mutex
+	spans     []SpanRecord
+	cap       int
+	ringStart int
+	nextSeq   uint64 // all-time span count; next record gets nextSeq+1
 
 	nextAuto atomic.Int64 // next AutoTID lane
+
+	// Trace/span ID entropy. nil idSrc means the shared process source
+	// (rand/v2 global); SeedIDs installs a deterministic PCG for tests.
+	idMu  sync.Mutex
+	idSrc *rand.Rand
 }
 
 // NewRecorder returns a recorder whose epoch is now, with a fresh
@@ -80,6 +113,12 @@ type Span struct {
 	tid   int
 	start time.Time
 	m0    runtime.MemStats
+
+	// Trace fields (zero for untraced batch spans).
+	sc                  SpanContext
+	parent              string
+	linkTrace, linkSpan string
+	noMem               bool // traced spans skip the STW MemStats reads
 }
 
 // Span starts a span. tid selects the Chrome-trace lane: par workers
@@ -101,19 +140,27 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	var m1 runtime.MemStats
-	runtime.ReadMemStats(&m1)
 	end := time.Now()
-	s.rec.addRecord(SpanRecord{
-		Name:       s.name,
-		Cat:        s.cat,
-		TID:        s.tid,
-		StartUS:    s.start.Sub(s.rec.epoch).Microseconds(),
-		DurUS:      end.Sub(s.start).Microseconds(),
-		AllocBytes: int64(m1.TotalAlloc - s.m0.TotalAlloc),
-		Mallocs:    int64(m1.Mallocs - s.m0.Mallocs),
-		NumGC:      m1.NumGC - s.m0.NumGC,
-	})
+	rec := SpanRecord{
+		Name:        s.name,
+		Cat:         s.cat,
+		TID:         s.tid,
+		StartUS:     s.start.Sub(s.rec.epoch).Microseconds(),
+		DurUS:       end.Sub(s.start).Microseconds(),
+		TraceID:     s.sc.TraceID,
+		SpanID:      s.sc.SpanID,
+		ParentID:    s.parent,
+		LinkTraceID: s.linkTrace,
+		LinkSpanID:  s.linkSpan,
+	}
+	if !s.noMem {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		rec.AllocBytes = int64(m1.TotalAlloc - s.m0.TotalAlloc)
+		rec.Mallocs = int64(m1.Mallocs - s.m0.Mallocs)
+		rec.NumGC = m1.NumGC - s.m0.NumGC
+	}
+	s.rec.addRecord(rec)
 }
 
 // AddSpan records an already-measured interval (used by the par
@@ -134,18 +181,116 @@ func (r *Recorder) AddSpan(name, cat string, tid int, start time.Time, dur time.
 
 func (r *Recorder) addRecord(rec SpanRecord) {
 	r.mu.Lock()
-	r.spans = append(r.spans, rec)
+	r.nextSeq++
+	rec.Seq = r.nextSeq
+	switch {
+	case r.cap <= 0:
+		r.spans = append(r.spans, rec)
+	case len(r.spans) < r.cap:
+		r.spans = append(r.spans, rec)
+	default:
+		// Ring is full: overwrite the oldest slot and advance the start.
+		r.spans[r.ringStart] = rec
+		r.ringStart = (r.ringStart + 1) % r.cap
+	}
 	r.mu.Unlock()
 }
 
-// Spans returns a copy of every finished span in recording order.
+// SetSpanCap bounds the recorder's span storage to the newest n records
+// (a ring buffer evicting oldest-first). n <= 0 restores unbounded
+// growth. Existing spans beyond the new cap are dropped oldest-first.
+// Long-lived daemons call this once at startup so trace history holds
+// bounded memory no matter how long the process serves.
+func (r *Recorder) SetSpanCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	linear := r.linearizeLocked()
+	if n > 0 && len(linear) > n {
+		linear = append([]SpanRecord(nil), linear[len(linear)-n:]...)
+	}
+	r.spans = linear
+	r.cap = n
+	r.ringStart = 0
+}
+
+// SpanCap returns the configured ring capacity (0 = unbounded).
+func (r *Recorder) SpanCap() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cap
+}
+
+// linearizeLocked returns the spans oldest-first regardless of ring
+// wrap. Caller holds r.mu. The returned slice aliases r.spans only in
+// the non-wrapped case; callers that retain it must copy.
+func (r *Recorder) linearizeLocked() []SpanRecord {
+	if r.cap <= 0 || r.ringStart == 0 {
+		return r.spans
+	}
+	out := make([]SpanRecord, 0, len(r.spans))
+	out = append(out, r.spans[r.ringStart:]...)
+	out = append(out, r.spans[:r.ringStart]...)
+	return out
+}
+
+// Spans returns a copy of every retained span in recording order
+// (oldest-first; under a span cap, the newest cap records).
 func (r *Recorder) Spans() []SpanRecord {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]SpanRecord(nil), r.spans...)
+	return append([]SpanRecord(nil), r.linearizeLocked()...)
+}
+
+// TraceSpans returns the retained spans belonging to one trace, in
+// recording order. An empty result means the trace is unknown — or has
+// been fully evicted from the ring.
+func (r *Recorder) TraceSpans(traceID string) []SpanRecord {
+	if r == nil || traceID == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SpanRecord
+	for _, sp := range r.linearizeLocked() {
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// SpansSince returns retained spans with Seq > after, in recording
+// order — the incremental-export primitive: a poller keeps the last Seq
+// it saw and asks only for what is new. If eviction outran the poller,
+// the gap is visible as a jump in Seq.
+func (r *Recorder) SpansSince(after uint64) []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	linear := r.linearizeLocked()
+	// Seq is strictly increasing in recording order, so binary-search
+	// for the first record past the watermark.
+	lo, hi := 0, len(linear)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if linear[mid].Seq <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return append([]SpanRecord(nil), linear[lo:]...)
 }
 
 // SpanSummary aggregates the spans sharing one name.
@@ -169,7 +314,7 @@ func (r *Recorder) Summarize() []SpanSummary {
 	defer r.mu.Unlock()
 	index := make(map[string]int)
 	var out []SpanSummary
-	for _, sp := range r.spans {
+	for _, sp := range r.linearizeLocked() {
 		i, ok := index[sp.Name]
 		if !ok {
 			i = len(out)

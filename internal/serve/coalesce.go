@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // group is a minimal singleflight: concurrent Do calls with the same
@@ -28,6 +30,9 @@ type call struct {
 	waiters atomic.Int32
 	val     any
 	err     error
+	// sc identifies the leader's span, so a joiner can link its own
+	// trace to the one that is actually doing the work.
+	sc obs.SpanContext
 }
 
 // waiting reports how many duplicate callers are parked on key's
@@ -47,6 +52,16 @@ func (g *group) waiting(key string) int {
 // caller's wait: its cancellation abandons the wait with the context's
 // cause, the execution itself is unaffected.
 func (g *group) Do(ctx context.Context, key string, fn func() (any, error)) (v any, shared bool, err error) {
+	v, shared, _, err = g.DoLinked(ctx, key, obs.SpanContext{}, fn)
+	return v, shared, err
+}
+
+// DoLinked is Do for traced callers: sc is this caller's own span
+// identity, and the returned leader is the span identity of whichever
+// caller's fn actually ran — the caller's own sc when it led, another
+// request's when it joined an in-flight execution. A joiner records
+// leader as a span link, cross-referencing the trace doing the work.
+func (g *group) DoLinked(ctx context.Context, key string, sc obs.SpanContext, fn func() (any, error)) (v any, shared bool, leader obs.SpanContext, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*call)
@@ -57,12 +72,12 @@ func (g *group) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 		defer c.waiters.Add(-1)
 		select {
 		case <-c.done:
-			return c.val, true, c.err
+			return c.val, true, c.sc, c.err
 		case <-ctx.Done():
-			return nil, true, context.Cause(ctx)
+			return nil, true, c.sc, context.Cause(ctx)
 		}
 	}
-	c := &call{done: make(chan struct{})}
+	c := &call{done: make(chan struct{}), sc: sc}
 	g.calls[key] = c
 	g.mu.Unlock()
 
@@ -84,8 +99,8 @@ func (g *group) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 
 	select {
 	case <-c.done:
-		return c.val, false, c.err
+		return c.val, false, sc, c.err
 	case <-ctx.Done():
-		return nil, false, context.Cause(ctx)
+		return nil, false, sc, context.Cause(ctx)
 	}
 }

@@ -53,18 +53,19 @@ func newLRU[V any](cap int, reg *obs.Registry, metricBase string) *lru[V] {
 }
 
 // getOrCreate returns the value cached under key, making it the most
-// recently used, or installs mk()'s value and evicts past the cap. An
-// evicted value is simply unlinked: builds already running against it
-// finish against its (now unreachable) state and are garbage collected
-// together with it.
-func (l *lru[V]) getOrCreate(key string, mk func() V) V {
+// recently used, or installs mk()'s value and evicts past the cap. hit
+// reports whether the value was already cached (the access log's
+// ctx_cached flag). An evicted value is simply unlinked: builds
+// already running against it finish against its (now unreachable)
+// state and are garbage collected together with it.
+func (l *lru[V]) getOrCreate(key string, mk func() V) (v V, hit bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if el, ok := l.m[key]; ok {
 		l.ll.MoveToFront(el)
-		return el.Value.(*lruItem[V]).v
+		return el.Value.(*lruItem[V]).v, true
 	}
-	v := mk()
+	v = mk()
 	l.m[key] = l.ll.PushFront(&lruItem[V]{key: key, v: v})
 	for l.ll.Len() > l.cap {
 		back := l.ll.Back()
@@ -73,7 +74,7 @@ func (l *lru[V]) getOrCreate(key string, mk func() V) V {
 		l.evicted.Add(1)
 	}
 	l.live.Set(float64(l.ll.Len()))
-	return v
+	return v, false
 }
 
 // get returns the value cached under key, making it the most recently

@@ -13,17 +13,20 @@ func TestContextLRUCapsAndRecency(t *testing.T) {
 	made := 0
 	mk := func() *entry { made++; return &entry{} }
 
-	a := l.getOrCreate("a", mk)
-	b := l.getOrCreate("b", mk)
-	if l.getOrCreate("a", mk) != a {
-		t.Fatal("second lookup of a minted a new entry")
+	a, hit := l.getOrCreate("a", mk)
+	if hit {
+		t.Fatal("first lookup of a reported a cache hit")
+	}
+	b, _ := l.getOrCreate("b", mk)
+	if got, hit := l.getOrCreate("a", mk); got != a || !hit {
+		t.Fatal("second lookup of a minted a new entry or missed")
 	}
 	// a was just refreshed, so adding c must evict b, not a.
 	l.getOrCreate("c", mk)
-	if l.getOrCreate("a", mk) != a {
+	if got, _ := l.getOrCreate("a", mk); got != a {
 		t.Error("a evicted despite being most recently used")
 	}
-	if nb := l.getOrCreate("b", mk); nb == b {
+	if nb, hit := l.getOrCreate("b", mk); nb == b || hit {
 		t.Error("b survived past the cap")
 	}
 	if made != 4 { // a, b, c, then b again

@@ -33,9 +33,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,7 +99,24 @@ type Config struct {
 
 	// BuildTimeout, when positive, is the per-artifact build deadline.
 	BuildTimeout time.Duration
+
+	// AccessLog, when set, receives one JSONL record per served request
+	// (schema: accessRecord). AccessLogSample keeps every Nth request
+	// (head-based by arrival index; 0 or 1 logs everything).
+	AccessLog       io.Writer
+	AccessLogSample int
+
+	// TraceBuffer caps the recorder's span ring so a long-serving
+	// daemon holds bounded trace history (0: default 4096; negative:
+	// leave the recorder's existing policy untouched — batch tests that
+	// share a recorder with a CLI run use this).
+	TraceBuffer int
 }
+
+// defaultTraceBuffer is the span-ring capacity when Config.TraceBuffer
+// is zero. At ~200 bytes per SpanRecord this holds the latest few
+// thousand request trees in ~1 MB.
+const defaultTraceBuffer = 4096
 
 // Server is the daemon. Create it with New; it is safe for concurrent
 // use by any number of HTTP requests.
@@ -122,6 +141,10 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	start    time.Time
+
+	latSketch *latencySketches
+	accessLog *accessLogger
+	accessSeq atomic.Uint64
 
 	reqTotal    *obs.Counter
 	reqInflight *obs.Gauge
@@ -176,6 +199,8 @@ func New(cfg Config) *Server {
 		buildTimeout: cfg.BuildTimeout,
 		exps:         make(map[string]core.Experiment),
 		start:        time.Now(),
+		latSketch:    newLatencySketches(),
+		accessLog:    newAccessLogger(cfg.AccessLog, cfg.AccessLogSample),
 		reqTotal:     reg.Counter("serve.req.total"),
 		reqInflight:  reg.Gauge("serve.req.inflight"),
 		reqLatency:   reg.Histogram("serve.req.latency_seconds", reqLatencyUppers),
@@ -195,9 +220,23 @@ func New(cfg Config) *Server {
 		s.exps[e.ID] = e
 	}
 
+	// Per-endpoint latency quantiles are computed at scrape time from
+	// the live sketches; the registry pulls them via this hook.
+	reg.AddSnapshotFunc(s.latSketch.snapshots)
+
+	// Bound the span ring so trace history cannot grow with uptime.
+	switch {
+	case cfg.TraceBuffer > 0:
+		rec.SetSpanCap(cfg.TraceBuffer)
+	case cfg.TraceBuffer == 0:
+		rec.SetSpanCap(defaultTraceBuffer)
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTraceDump)
+	s.mux.HandleFunc("GET /debug/trace/{traceID}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
@@ -207,29 +246,86 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the daemon's root handler: request accounting and
-// the drain check in front of the route mux.
+// Handler returns the daemon's root handler: per-request tracing,
+// accounting, access logging and the drain check in front of the route
+// mux.
+//
+// Trace contract: an incoming `traceparent` header (W3C trace-context)
+// makes the request span a child of the remote trace; otherwise the
+// request roots a fresh trace. Either way the response carries
+// `X-Trace-Id` (and a `Traceparent` continuation), and every span the
+// request produces — gate wait, coalescing, experiment run, cell
+// builds, checkpoint I/O — shares that trace ID, retrievable from
+// GET /debug/trace/{traceID}.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reqTotal.Add(1)
-		if s.draining.Load() {
-			writeError(w, http.StatusServiceUnavailable, "draining: not accepting new requests")
-			return
+		seq := s.accessSeq.Add(1)
+		endpoint := endpointOf(r.URL.Path)
+
+		ctx := r.Context()
+		if tp := r.Header.Get("Traceparent"); tp != "" {
+			if sc, ok := obs.ParseTraceparent(tp); ok {
+				ctx = obs.ContextWithSpan(ctx, sc)
+			}
 		}
+		ri := &obs.ReqInfo{}
+		ctx = obs.ContextWithReqInfo(ctx, ri)
+		sp, ctx := s.rec.StartRequestSpan(ctx, r.Method+" "+endpoint, obs.CatRequest)
+		if sc := sp.Context(); sc.Valid() {
+			w.Header().Set("X-Trace-Id", sc.TraceID)
+			w.Header().Set("Traceparent", sc.Traceparent())
+		}
+		r = r.WithContext(ctx)
+
+		sw := &statusWriter{ResponseWriter: w}
 		s.reqInflight.Add(1)
 		start := time.Now()
 		defer func() {
+			dur := time.Since(start)
 			s.reqInflight.Add(-1)
-			s.reqLatency.Observe(time.Since(start).Seconds())
+			s.reqLatency.Observe(dur.Seconds())
+			s.latSketch.observe(endpoint, dur)
+			sp.End()
+			if sw.status == 0 {
+				sw.status = http.StatusOK // implicit 200: body-less handler
+			}
+			co, leader, ctxCached, ckptHit, ckptMiss := ri.Flags()
+			s.accessLog.log(accessRecord{
+				TS:        start.UTC().Format(time.RFC3339Nano),
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Query:     r.URL.RawQuery,
+				Endpoint:  endpoint,
+				Status:    sw.status,
+				Bytes:     sw.bytes,
+				LatencyUS: dur.Microseconds(),
+				TraceID:   sp.Context().TraceID,
+				GateUS:    ri.GateWaitUS(),
+				Coalesced: co,
+				Leader:    leader,
+				CtxCached: ctxCached,
+				CkptHit:   ckptHit,
+				CkptMiss:  ckptMiss,
+				Seq:       seq,
+			})
 		}()
-		s.mux.ServeHTTP(w, r)
+
+		if s.draining.Load() && !drainExempt(endpoint) {
+			writeError(sw, http.StatusServiceUnavailable, "draining: not accepting new requests")
+			return
+		}
+		s.mux.ServeHTTP(sw, r)
 	})
 }
 
-// BeginDrain flips the server into drain mode: every subsequent
-// request — including /healthz, so load balancers stop routing here —
-// gets 503 while requests already past the check run to completion.
-// The caller follows up with http.Server.Shutdown to wait for them.
+// BeginDrain flips the server into drain mode: subsequent
+// build-triggering requests — and /healthz, so load balancers stop
+// routing here — get 503 while requests already past the check run to
+// completion. /metrics and /debug/trace/* stay up (see drainExempt):
+// the terminating replica's final scrape is the one that matters.
+// The caller follows up with http.Server.Shutdown to wait for the
+// stragglers.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain was called.
@@ -240,7 +336,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // many are warm. It is meant to run in the background after the
 // listener is up: requests arriving mid-warm simply coalesce with it.
 func (s *Server) Prewarm(ctx context.Context) (int, error) {
-	e := s.entryFor(s.base)
+	e := s.entryFor(ctx, s.base)
 	for i, exp := range s.allList {
 		if _, err := s.result(ctx, e, exp); err != nil {
 			return i, err
@@ -250,19 +346,31 @@ func (s *Server) Prewarm(ctx context.Context) (int, error) {
 }
 
 // entryFor returns the scenario entry for cfg, creating (and LRU-ing)
-// it as needed.
-func (s *Server) entryFor(cfg core.Config) *entry {
-	return s.lru.getOrCreate(cfg.Canonical(), func() *entry {
+// it as needed. A cache hit is noted on the request's annotation bag
+// for the access log.
+func (s *Server) entryFor(ctx context.Context, cfg core.Config) *entry {
+	e, hit := s.lru.getOrCreate(cfg.Canonical(), func() *entry {
 		c := core.NewContext(cfg)
 		c.SetRecorder(s.rec)
 		return &entry{cctx: c, results: make(map[string]*core.Result)}
 	})
+	if hit {
+		obs.ReqInfoFrom(ctx).MarkCtxCached()
+	}
+	return e
 }
 
 // result returns exp's artifact for the entry's scenario, serving the
 // memoized result when warm and otherwise coalescing all concurrent
 // cold requests into one core.RunOne under the server's lifetime
 // context. ctx is the requester's wait budget only.
+//
+// Tracing: a traced request wraps the whole thing in a
+// coalesce:<expID> span. If this caller becomes the build leader, the
+// build context — the server's lifetime context, never the request's —
+// adopts that span, so the exp:/build:/ckpt: spans below RunOne join
+// this request's trace. If it joins another request's in-flight build
+// instead, its span records a link to the leader's span.
 func (s *Server) result(ctx context.Context, e *entry, exp core.Experiment) (*core.Result, error) {
 	e.mu.RLock()
 	r, ok := e.results[exp.ID]
@@ -271,8 +379,23 @@ func (s *Server) result(ctx context.Context, e *entry, exp core.Experiment) (*co
 		s.artifactHit.Add(1)
 		return r, nil
 	}
-	v, shared, err := e.sf.Do(ctx, exp.ID, func() (any, error) {
-		res, err := core.RunOne(s.baseCtx, e.cctx, exp, s.buildTimeout, s.store)
+	ri := obs.ReqInfoFrom(ctx)
+	var csp *obs.Span
+	if _, traced := obs.SpanFromContext(ctx); traced {
+		csp, ctx = s.rec.StartSpan(ctx, "coalesce:"+exp.ID, obs.CatServe)
+		defer csp.End()
+	}
+	mySC := csp.Context()
+	v, shared, leaderSC, err := e.sf.DoLinked(ctx, exp.ID, mySC, func() (any, error) {
+		ri.MarkLeader()
+		buildCtx := s.baseCtx
+		if mySC.Valid() {
+			buildCtx = obs.ContextWithSpan(buildCtx, mySC)
+		}
+		if ri != nil {
+			buildCtx = obs.ContextWithReqInfo(buildCtx, ri)
+		}
+		res, err := core.RunOne(buildCtx, e.cctx, exp, s.buildTimeout, s.store)
 		if err != nil {
 			return nil, err
 		}
@@ -283,6 +406,10 @@ func (s *Server) result(ctx context.Context, e *entry, exp core.Experiment) (*co
 	})
 	if shared {
 		s.coShared.Add(1)
+		ri.MarkCoalesced()
+		if leaderSC.Valid() && leaderSC != mySC {
+			csp.Link(leaderSC)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -333,9 +460,21 @@ func (s *Server) configFor(q url.Values) (core.Config, error) {
 
 // admit passes the request through the gate, writing the rejection
 // (429 on saturation, the context cause otherwise) itself. On true the
-// caller holds a slot and must gate.Release.
+// caller holds a slot and must gate.Release. Traced requests record
+// the wait as a gate:wait child span; every request records it on its
+// annotation bag for the access log.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
-	err := s.gate.Acquire(r.Context())
+	ctx := r.Context()
+	var gsp *obs.Span
+	if _, traced := obs.SpanFromContext(ctx); traced {
+		// The returned context is discarded on purpose: the wait is a
+		// leaf, not an ancestor of the build spans.
+		gsp, _ = s.rec.StartSpan(ctx, "gate:wait", obs.CatServe)
+	}
+	start := time.Now()
+	err := s.gate.Acquire(ctx)
+	gsp.End()
+	obs.ReqInfoFrom(ctx).SetGateWait(time.Since(start))
 	if err == nil {
 		return true
 	}
@@ -367,11 +506,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the registry snapshot. Prometheus text
+// exposition is the default; the PR5 JSONL format stays available via
+// ?format=jsonl or `Accept: application/x-ndjson` for existing
+// scrapers. Write errors mean the client went away mid-snapshot; there
+// is nobody left to report them to.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	// A write error here means the client went away mid-snapshot;
-	// there is nobody left to report it to.
-	_ = s.reg.WriteJSONL(w)
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		format = "jsonl"
+	}
+	switch format {
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.reg.WriteJSONL(w)
+	case "", "prom", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("format: want prom or jsonl, got %q", format))
+	}
 }
 
 // experimentInfo is one /v1/experiments row.
@@ -487,7 +641,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.Release()
-	e := s.entryFor(cfg)
+	e := s.entryFor(r.Context(), cfg)
 	results := make([]*core.Result, len(exps))
 	for i, exp := range exps {
 		res, err := s.result(r.Context(), e, exp)
@@ -524,7 +678,7 @@ func (s *Server) buildFor(w http.ResponseWriter, r *http.Request, exp core.Exper
 		return nil, false
 	}
 	defer s.gate.Release()
-	res, err := s.result(r.Context(), s.entryFor(cfg), exp)
+	res, err := s.result(r.Context(), s.entryFor(r.Context(), cfg), exp)
 	if err != nil {
 		s.writeBuildError(w, err)
 		return nil, false

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -214,7 +215,7 @@ func TestCoalescingOneBuild(t *testing.T) {
 
 	// Every request must be in the flight before the build may finish:
 	// one leader inside Run, 99 parked on the coalescer.
-	e := s.entryFor(cfg)
+	e := s.entryFor(context.Background(), cfg)
 	waitFor(t, "99 coalesced waiters", func() bool { return e.sf.waiting("stub") == n-1 })
 	close(st.release)
 	wg.Wait()
@@ -462,8 +463,20 @@ func TestScenarioParamsAndErrors(t *testing.T) {
 		t.Errorf("experiments: status %d payload %s, want the stub listing", code, body)
 	}
 
+	// Default /metrics is Prometheus text; JSONL stays available by
+	// query param and by Accept header.
 	code, body = get(t, client, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "serve_req_total") {
+		t.Errorf("metrics: status %d, body missing serve_req_total", code)
+	}
+	if _, err := obs.ParsePrometheus(bytes.NewReader(body)); err != nil {
+		t.Errorf("metrics: default exposition does not parse: %v", err)
+	}
+	code, body = get(t, client, ts.URL+"/metrics?format=jsonl")
 	if code != http.StatusOK || !strings.Contains(string(body), `"serve.req.total"`) {
-		t.Errorf("metrics: status %d, body missing serve.req.total", code)
+		t.Errorf("metrics?format=jsonl: status %d, body missing serve.req.total", code)
+	}
+	if code, _ := get(t, client, ts.URL+"/metrics?format=xml"); code != http.StatusBadRequest {
+		t.Errorf("metrics?format=xml: status %d, want 400", code)
 	}
 }
