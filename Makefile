@@ -13,7 +13,7 @@ BENCHTIME ?= 100ms
 BENCH_OUT ?= BENCH_pr7.json
 BENCH_BASE ?= $(shell ls BENCH_pr*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -t_ -k2.3 -n | tail -n1)
 
-.PHONY: build test race bench bench-parallel verify repro-quick check ci fmt-check bench-json bench-diff chaos
+.PHONY: build test race bench bench-parallel verify repro-quick check ci fmt-check bench-json bench-diff chaos smoke-replicas
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,16 @@ verify: test race
 chaos:
 	$(GO) test -run 'TestChaos|TestCLIChaos|TestSIG|TestBuildRetry|TestBuildFails|TestCLICheckpoint|TestCheckpointResume' \
 		./cmd/repro ./internal/core
-	$(GO) test ./internal/fault ./internal/ckpt
+	$(GO) test ./internal/fault ./internal/ckpt ./internal/replica
 	$(GO) test -run 'TestSimulateCtx|TestSimulateFaultSite|TestPanicStops|TestForEachCtx' \
 		./internal/cluster ./internal/par
+	$(GO) test -run 'TestHealthzDegraded|TestPeerFill|TestCacheFill' ./internal/serve
+
+# Multi-replica fleet smoke: 3 daemons over one shared checkpoint dir
+# (one chaos-armed), reprobench -strict against all three, single-signal
+# drain. The same contract the CI multi-replica-smoke job gates on.
+smoke-replicas:
+	./scripts/multi_replica_smoke.sh
 
 # Fail if any file needs gofmt. Kept as its own target so both make
 # check and the CI workflow gate on the exact same command.
@@ -62,8 +69,10 @@ check: fmt-check chaos
 		./cmd/repro ./internal/core
 	$(GO) test -run 'TestReferencePlacementByteIdentical' ./internal/cluster
 	$(GO) test -run 'TestSketchMatchesExact|TestUsageSketchMatchesExactUsage' ./internal/stats ./internal/hostload
-	$(GO) test -run 'TestMetricsExposition|TestAccessLogWritten' ./cmd/reprod
-	$(GO) test -run 'TestColdRequestTraceChain|TestServedBytesIdenticalTraced' ./internal/serve
+	$(GO) test -run 'TestMetricsExposition|TestAccessLogWritten|TestMultiReplicaSmoke' ./cmd/reprod
+	$(GO) test -run 'TestColdRequestTraceChain|TestServedBytesIdenticalTraced|TestETag|TestTwoReplicas|TestLeaseTakeover' \
+		./internal/serve ./internal/replica
+	$(MAKE) smoke-replicas
 	-$(MAKE) bench-diff BENCH_OUT=/tmp/BENCH_check.json
 
 # Machine-readable benchmark snapshot: the pipeline benches (including
@@ -91,7 +100,7 @@ bench-diff: bench-json
 # never needs a push to debug. bench-diff is advisory there (a separate
 # continue-on-error job), so it is advisory here too: the leading dash
 # keeps a perf regression from masking a correctness failure.
-ci: fmt-check build test race chaos
+ci: fmt-check build test race chaos smoke-replicas
 	-$(MAKE) bench-diff BENCH_OUT=/tmp/BENCH_ci.json
 
 repro-quick:

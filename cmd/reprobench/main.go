@@ -44,6 +44,7 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("reprobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr         = fs.String("addr", "", "daemon to benchmark (empty: self-host in-process)")
+		addr         = fs.String("addr", "", "daemon(s) to benchmark, comma-separated for a replica fleet (empty: self-host in-process)")
 		requests     = fs.Int("requests", 256, "total timed requests")
 		concurrency  = fs.Int("concurrency", 8, "concurrent client workers")
 		coldEvery    = fs.Int("cold-every", 16, "every nth request is cold (fresh ?seed= scenario; 0 = all hot)")
@@ -90,31 +91,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	target := *addr
+	// -addr accepts a comma-separated replica fleet; requests round-robin
+	// across it and the report adds per-replica quantile lines. A single
+	// address (or self-hosting) keeps the exact single-daemon output.
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, a)
+		}
+	}
 	var shutdown func()
-	if target == "" {
+	if len(targets) == 0 {
 		cfg := core.QuickConfig()
 		cfg.Seed = *seed
 		cfg.Machines = *machines
 		cfg.SimHorizon = int64(*simDays) * 86400
 		cfg.WorkloadHorizon = int64(*workloadDays) * 86400
-		var err error
-		target, shutdown, err = selfHost(cfg)
+		target, sd, err := selfHost(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "reprobench: %v\n", err)
 			return 1
 		}
+		targets, shutdown = []string{target}, sd
 		defer shutdown()
 		fmt.Fprintf(stderr, "reprobench: self-hosted daemon on %s\n", target)
 	}
-	base := "http://" + target
+	bases := make([]string, len(targets))
+	for i, t := range targets {
+		bases[i] = "http://" + t
+	}
+	base := bases[0]
 	client := &http.Client{Timeout: *timeout}
 
-	// Warm the hot artifact so the hot class measures cache service,
-	// not one giant first build amortized over the run.
-	if code, err := get(client, base+"/v1/artifacts/"+hotArtifact); err != nil || code != http.StatusOK {
-		fmt.Fprintf(stderr, "reprobench: warmup GET: status %d err %v\n", code, err)
-		return 1
+	// Warm the hot artifact on every replica so the hot class measures
+	// cache service, not one giant first build amortized over the run.
+	// Across a fleet sharing a checkpoint store the first warmup builds
+	// and the rest fill from the store or a peer.
+	for _, b := range bases {
+		if code, err := get(client, b+"/v1/artifacts/"+hotArtifact); err != nil || code != http.StatusOK {
+			fmt.Fprintf(stderr, "reprobench: warmup GET %s: status %d err %v\n", b, code, err)
+			return 1
+		}
 	}
 
 	// Timed phase: worker pool draining a deterministic request index.
@@ -136,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if i >= *requests {
 					return
 				}
-				url := base + "/v1/artifacts/" + hotArtifact
+				url := bases[i%len(bases)] + "/v1/artifacts/" + hotArtifact
 				if *coldEvery > 0 && (i+1)%*coldEvery == 0 {
 					cold[i] = true
 					url = fmt.Sprintf("%s?seed=%d", url, *seed+1000+uint64(i))
@@ -159,10 +176,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Client-side stats per class, quantiles by the same ⌈p·n⌉ order
 	// statistic stats.Sketch uses, so the two sides are comparable.
+	// byReplica buckets every request's latency by the replica that
+	// served it (request i went to replica i mod len(bases)).
 	var hotLat, coldLat, allLat []float64
+	byReplica := make([][]float64, len(bases))
 	for i, d := range lat {
 		s := d.Seconds()
 		allLat = append(allLat, s)
+		byReplica[i%len(bases)] = append(byReplica[i%len(bases)], s)
 		if cold[i] {
 			coldLat = append(coldLat, s)
 		} else {
@@ -189,55 +210,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, line)
 	}
 
-	// Server-side view: scrape and validate the daemon's Prometheus
+	// Server-side view: scrape and validate every replica's Prometheus
 	// exposition, pull the artifact endpoint's sketch quantiles.
-	srvP50, srvP99, srvCount, err := scrapeQuantiles(client, base)
-	if err != nil {
-		fmt.Fprintf(stderr, "reprobench: scrape: %v\n", err)
-		return 1
+	srvP50 := make([]float64, len(bases))
+	srvP99 := make([]float64, len(bases))
+	srvCount := make([]int, len(bases))
+	for r, b := range bases {
+		p50, p99, cnt, err := scrapeQuantiles(client, b)
+		if err != nil {
+			fmt.Fprintf(stderr, "reprobench: scrape %s: %v\n", b, err)
+			return 1
+		}
+		srvP50[r], srvP99[r], srvCount[r] = p50, p99, cnt
 	}
 	fmt.Fprintln(stdout, "goos: "+runtime.GOOS)
 	fmt.Fprintln(stdout, "goarch: "+runtime.GOARCH)
 	fmt.Fprintln(stdout, "pkg: repro/cmd/reprobench")
 	emit("BenchmarkServeHot", hotLat, nil)
 	emit("BenchmarkServeCold", coldLat, nil)
-	emit("BenchmarkServeAll", allLat, map[string]float64{
-		"srv_p50_s": srvP50, "srv_p99_s": srvP99,
-	})
-
-	// Cross-check. Server-measured time nests strictly inside
-	// client-measured time, so pointwise the server never exceeds the
-	// client. Quantiles complicate that: the server population carries
-	// one extra sample (the warmup build), so its ⌈p·n⌉ order statistic
-	// can sit one rank above the client's — and when queueing makes the
-	// distribution steep at the median (1-core hosts), one rank is a
-	// multiplicative jump. The gate therefore compares each server
-	// quantile against the client's order statistic two ranks up, then
-	// applies the sketch's documented relative error plus a small
-	// absolute allowance. The reverse gap (client >> server) is
-	// expected HTTP/loopback overhead and is reported, not gated.
-	clientSorted := append([]float64(nil), allLat...)
-	slices.Sort(clientSorted)
-	cp50, cp99 := quantile(clientSorted, 0.5), quantile(clientSorted, 0.99)
-	ceil := func(p float64) float64 {
-		rank := int(math.Ceil(p*float64(len(clientSorted)))) + 2
-		if rank > len(clientSorted) {
-			rank = len(clientSorted)
+	if len(bases) == 1 {
+		// Single daemon: one aggregate line carrying its server-side
+		// quantiles — byte-compatible with the pre-fleet output.
+		emit("BenchmarkServeAll", allLat, map[string]float64{
+			"srv_p50_s": srvP50[0], "srv_p99_s": srvP99[0],
+		})
+	} else {
+		// Fleet: the aggregate line is pure client-side (N independent
+		// server sketches have no common quantile), and each replica
+		// gets its own sub-benchmark line pairing the client latencies
+		// it served with its own sketch quantiles.
+		emit("BenchmarkServeAll", allLat, nil)
+		for r := range bases {
+			emit(fmt.Sprintf("BenchmarkServeAll/replica=%d", r), byReplica[r], map[string]float64{
+				"srv_p50_s": srvP50[r], "srv_p99_s": srvP99[r],
+			})
 		}
-		return clientSorted[rank-1]
 	}
+
+	// Cross-check, per replica. Server-measured time nests strictly
+	// inside client-measured time, so pointwise the server never exceeds
+	// the client. Quantiles complicate that: the server population
+	// carries one extra sample (the warmup build), so its ⌈p·n⌉ order
+	// statistic can sit one rank above the client's — and when queueing
+	// makes the distribution steep at the median (1-core hosts), one
+	// rank is a multiplicative jump. The gate therefore compares each
+	// server quantile against the client's order statistic two ranks up,
+	// then applies the sketch's documented relative error plus a small
+	// absolute allowance. The reverse gap (client >> server) is expected
+	// HTTP/loopback overhead and is reported, not gated.
 	bound := serve.LatencySketchRelError
 	const absSlack = 2e-3 // scrape racing the tail + timer granularity
-	ok50 := srvP50 <= ceil(0.5)*(1+bound)+absSlack
-	ok99 := srvP99 <= ceil(0.99)*(1+bound)+absSlack
-	fmt.Fprintf(stderr,
-		"reprobench: cross-check (bound %.2f%% + %.0fms): p50 client %.6fs server %.6fs [%s], p99 client %.6fs server %.6fs [%s], server sketch count %d\n",
-		bound*100, absSlack*1e3, cp50, srvP50, okStr(ok50), cp99, srvP99, okStr(ok99), srvCount)
-	if *addr == "" && srvCount != *requests+1 { // +1 warmup; only meaningful self-hosted
-		fmt.Fprintf(stderr, "reprobench: server sketch count %d, want %d\n", srvCount, *requests+1)
-		ok50 = false
+	allOK := true
+	for r := range bases {
+		clientSorted := append([]float64(nil), byReplica[r]...)
+		slices.Sort(clientSorted)
+		cp50, cp99 := quantile(clientSorted, 0.5), quantile(clientSorted, 0.99)
+		ceil := func(p float64) float64 {
+			rank := int(math.Ceil(p*float64(len(clientSorted)))) + 2
+			if rank > len(clientSorted) {
+				rank = len(clientSorted)
+			}
+			return clientSorted[rank-1]
+		}
+		ok50 := srvP50[r] <= ceil(0.5)*(1+bound)+absSlack
+		ok99 := srvP99[r] <= ceil(0.99)*(1+bound)+absSlack
+		who := "cross-check"
+		if len(bases) > 1 {
+			who = fmt.Sprintf("cross-check replica %d (%s)", r, targets[r])
+		}
+		fmt.Fprintf(stderr,
+			"reprobench: %s (bound %.2f%% + %.0fms): p50 client %.6fs server %.6fs [%s], p99 client %.6fs server %.6fs [%s], server sketch count %d\n",
+			who, bound*100, absSlack*1e3, cp50, srvP50[r], okStr(ok50), cp99, srvP99[r], okStr(ok99), srvCount[r])
+		if *addr == "" && srvCount[r] != *requests+1 { // +1 warmup; only meaningful self-hosted
+			fmt.Fprintf(stderr, "reprobench: server sketch count %d, want %d\n", srvCount[r], *requests+1)
+			ok50 = false
+		}
+		allOK = allOK && ok50 && ok99
 	}
-	if *strict && (!ok50 || !ok99) {
+	if *strict && !allOK {
 		fmt.Fprintln(stderr, "reprobench: cross-check FAILED")
 		return 1
 	}

@@ -13,6 +13,19 @@
 //	       [-drain-timeout d] [-metrics-out file]
 //	       [-access-log file] [-access-log-sample n]
 //	       [-trace-buffer n] [-runtime-sample d]
+//	       [-replica-id name] [-peers host:port,...] [-lease-ttl d]
+//	       [-chaos-seed n] [-chaos-prob p]
+//
+// Multi-replica mode (-replica-id, plus -peers and a shared
+// -checkpoint-dir) coordinates any number of daemons into one logical
+// cache: the first replica to claim a cold artifact takes a lease in
+// the checkpoint directory and builds it exactly once fleet-wide,
+// siblings fill their caches from GET /v1/cache/{key} or from the
+// shared store, and a replica that dies mid-build has its stale lease
+// taken over after -lease-ttl. -chaos-prob arms deterministic
+// error-kind fault injections (seeded by -chaos-seed) across the
+// replica failure surface, for convergence drills. See README "Running
+// N replicas".
 //
 // Endpoints (see README "Serving" for the full table): /healthz,
 // /metrics (Prometheus text by default, ?format=jsonl for the PR5
@@ -57,12 +70,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/rng"
 	"repro/internal/serve"
 )
 
@@ -95,6 +112,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		accessSample = fs.Int("access-log-sample", 1, "log every nth request (head-based, deterministic; 1 = all)")
 		traceBuffer  = fs.Int("trace-buffer", 4096, "span ring capacity for /debug/trace (bounded memory)")
 		runtimePd    = fs.Duration("runtime-sample", 10*time.Second, "runtime gauge sampling period (0 = off)")
+		replicaID    = fs.String("replica-id", "", "enable multi-replica coordination under this replica name")
+		peersFlag    = fs.String("peers", "", "comma-separated sibling replica addresses for cache fills (host:port or URL)")
+		leaseTTL     = fs.Duration("lease-ttl", 5*time.Second, "distributed build-lease lifetime between heartbeats")
+		chaosSeed    = fs.Uint64("chaos-seed", 0, "deterministic fault-injection seed for the replica chaos sites")
+		chaosProb    = fs.Float64("chaos-prob", 0, "per-site probability of arming one injected error (0 = chaos off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -152,6 +174,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "reprod: -runtime-sample must be non-negative\n")
 		return 2
 	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 && *replicaID == "" {
+		fmt.Fprintf(stderr, "reprod: -peers requires -replica-id\n")
+		return 2
+	}
+	if *leaseTTL <= 0 {
+		fmt.Fprintf(stderr, "reprod: -lease-ttl must be positive\n")
+		return 2
+	}
+	if *chaosProb < 0 || *chaosProb > 1 {
+		fmt.Fprintf(stderr, "reprod: -chaos-prob must be in [0, 1], got %g\n", *chaosProb)
+		return 2
+	}
 
 	rec := obs.NewRecorder()
 	var store *ckpt.Store
@@ -180,6 +220,42 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	sampler := obs.StartRuntimeSampler(rec.Registry(), *runtimePd)
 	defer sampler.Stop()
 
+	// Multi-replica mode: every artifact build goes through the
+	// fleet-wide coordinator (shared-store singleflight via leases, peer
+	// cache fills). The coordinator owns checkpoint I/O on that path.
+	var coord *replica.Coordinator
+	if *replicaID != "" {
+		coord = replica.New(replica.Config{
+			ID:    *replicaID,
+			Store: store,
+			Peers: peers,
+			TTL:   *leaseTTL,
+			Rec:   rec,
+		})
+		fmt.Fprintf(stderr, "reprod: replica %q coordinating with %d peer(s), lease TTL %v\n",
+			*replicaID, len(peers), *leaseTTL)
+	}
+
+	// Chaos mode arms deterministic error injections across the replica
+	// failure surface (lease I/O, peer fetches, checkpoint writes). Only
+	// Error-kind rules: the point is proving the daemon degrades and
+	// converges, not crashing it — kill-style failures are exercised by
+	// the test suite, which can afford to lose a process.
+	if *chaosProb > 0 {
+		cs := rng.New(*chaosSeed).Child("reprod.chaos")
+		var rules []fault.Rule
+		for _, site := range replica.ChaosSites() {
+			if cs.Float64() < *chaosProb {
+				rules = append(rules, fault.Rule{Site: site, Hit: 1 + cs.Int64N(20), Kind: fault.Error})
+			}
+		}
+		if len(rules) > 0 {
+			defer fault.Enable(fault.NewPlan(rules...))()
+		}
+		fmt.Fprintf(stderr, "reprod: chaos armed (seed %d, prob %g): %d rule(s) across %d site(s)\n",
+			*chaosSeed, *chaosProb, len(rules), len(replica.ChaosSites()))
+	}
+
 	// rootCtx is the server's lifetime: artifact builds run under it, so
 	// it stays alive through a graceful drain and is cancelled only when
 	// the drain times out or a second signal demands a hard stop.
@@ -189,6 +265,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	srv := serve.New(serve.Config{
 		Base:            cfg,
 		Store:           store,
+		Replica:         coord,
 		Rec:             rec,
 		BaseContext:     rootCtx,
 		MaxInflight:     *maxInflight,

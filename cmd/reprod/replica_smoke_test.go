@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMultiReplicaSmoke is the fleet end-to-end: three daemons over one
+// shared checkpoint directory, peer lists pointing at each other, one
+// replica running with chaos injections armed. Every replica must serve
+// byte-identical artifacts, exactly one of them building; /healthz must
+// name each replica; and a single SIGTERM must drain all three to a
+// clean exit 0.
+func TestMultiReplicaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon boot is seconds-slow")
+	}
+	ckptDir := t.TempDir()
+	scenario := []string{"-machines", "4", "-sim-days", "1", "-workload-days", "1"}
+
+	type daemon struct {
+		addr string
+		out  strings.Builder
+		err  strings.Builder
+		done chan int
+	}
+	boot := func(name string, peers ...string) *daemon {
+		d := &daemon{done: make(chan int, 1)}
+		args := append([]string{
+			"-addr", "127.0.0.1:0",
+			"-checkpoint-dir", ckptDir,
+			"-replica-id", name,
+			"-lease-ttl", "500ms",
+		}, scenario...)
+		if len(peers) > 0 {
+			args = append(args, "-peers", strings.Join(peers, ","))
+		}
+		if name == "r2" {
+			// The chaos replica: deterministic error injections across
+			// the replica fault surface. It must still serve correctly.
+			args = append(args, "-chaos-seed", "1", "-chaos-prob", "1")
+		}
+		ready := make(chan string, 1)
+		go func() { d.done <- run(args, &d.out, &d.err, ready) }()
+		select {
+		case d.addr = <-ready:
+		case code := <-d.done:
+			t.Fatalf("%s exited %d before ready\nstderr: %s", name, code, d.err.String())
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s never became ready", name)
+		}
+		return d
+	}
+
+	// Peer lists need concrete addresses, so the fleet boots in order,
+	// each replica pointed at the ones already up.
+	r0 := boot("r0")
+	r1 := boot("r1", r0.addr)
+	r2 := boot("r2", r0.addr, r1.addr)
+	daemons := map[string]*daemon{"r0": r0, "r1": r1, "r2": r2}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	fetch := func(addr, path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", addr, path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// Each replica identifies itself and its peer count on /healthz.
+	for name, d := range daemons {
+		code, body := fetch(d.addr, "/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("%s /healthz: %d", name, code)
+		}
+		if !strings.Contains(body, `"replica":"`+name+`"`) {
+			t.Fatalf("%s /healthz does not name itself: %s", name, body)
+		}
+	}
+
+	// The same artifact from all three replicas: byte-identical, and
+	// the shared store means at most one replica simulated it.
+	var bodies [3]string
+	for i, d := range []*daemon{r0, r1, r2} {
+		code, body := fetch(d.addr, "/v1/artifacts/fig2")
+		if code != http.StatusOK {
+			t.Fatalf("replica %d /v1/artifacts/fig2: %d (%s)", i, code, body)
+		}
+		bodies[i] = body
+	}
+	if bodies[0] != bodies[1] || bodies[1] != bodies[2] {
+		t.Fatalf("replica bodies differ: lens %d/%d/%d", len(bodies[0]), len(bodies[1]), len(bodies[2]))
+	}
+
+	// Exactly one fleet-wide build: the store counts one "store" write
+	// (r0's) and the other replicas read it back. The builders' metrics
+	// are per-process, so count via each replica's own exposition.
+	builds := 0
+	for name, d := range daemons {
+		code, body := fetch(d.addr, "/metrics?format=jsonl")
+		if code != http.StatusOK {
+			t.Fatalf("%s /metrics: %d", name, code)
+		}
+		if strings.Contains(body, `"name":"replica.build.done","type":"counter","value":1`) {
+			builds++
+		}
+	}
+	if builds > 1 {
+		t.Fatalf("%d replicas claim the build, want at most 1", builds)
+	}
+
+	// A cache fill from a sibling: ask r1 for a key r0 surely has.
+	code, body := fetch(r0.addr, "/v1/cache/"+strings.Repeat("0", 64))
+	if code != http.StatusNotFound {
+		t.Fatalf("bogus cache key: %d (%s)", code, body)
+	}
+
+	// One SIGTERM reaches every in-process daemon; all must drain to 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	for name, d := range daemons {
+		select {
+		case code := <-d.done:
+			if code != 0 {
+				t.Errorf("%s drain exit = %d\nstderr: %s", name, code, d.err.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s never drained", name)
+		}
+	}
+}

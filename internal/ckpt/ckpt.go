@@ -14,6 +14,7 @@ package ckpt
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -24,7 +25,9 @@ import (
 	"path/filepath"
 	"slices"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -56,10 +59,21 @@ func Key(parts ...string) string {
 // Store is a directory of checkpoint files, one per key. The zero
 // Store (or a nil *Store) is disabled: Load always misses and Save is
 // a no-op, so callers don't need to branch on "checkpointing off".
+//
+// A directory may be shared by any number of stores across processes
+// (the multi-replica serving deployment does exactly that): temp files
+// carry a per-writer suffix and are created O_EXCL so two writers never
+// collide, and a writer that finds the final file already present —
+// another replica finished the same content-addressed build first —
+// treats losing the rename as a hit, not an error.
 type Store struct {
-	dir string
-	reg *obs.Registry // nil-safe, may be nil
+	dir    string
+	writer string        // per-writer temp-file suffix, never empty
+	reg    *obs.Registry // nil-safe, may be nil
 }
+
+// tmpSeq distinguishes concurrent temp files from the same writer.
+var tmpSeq atomic.Uint64
 
 // NewStore opens (creating if needed) a checkpoint directory. reg may
 // be nil; when set, the store maintains ckpt.hit / ckpt.miss /
@@ -71,7 +85,26 @@ func NewStore(dir string, reg *obs.Registry) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: create dir: %w", err)
 	}
-	return &Store{dir: dir, reg: reg}, nil
+	return &Store{dir: dir, writer: fmt.Sprintf("p%d", os.Getpid()), reg: reg}, nil
+}
+
+// SetWriter overrides the per-writer temp-file suffix (default: the
+// process ID). Multi-replica deployments set it to the replica ID so a
+// leaked temp file names its owner. Characters that cannot appear in a
+// file name are replaced.
+func (s *Store) SetWriter(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+	s.writer = clean
 }
 
 // Enabled reports whether the store actually persists anything.
@@ -132,36 +165,86 @@ func (s *Store) Save(key string, v any) error {
 		s.count("skip")
 		return fmt.Errorf("ckpt: marshal %s: %w", key, err)
 	}
+	_, err = s.SaveRaw(key, payload)
+	return err
+}
+
+// SaveRaw atomically writes an already-marshalled payload under key.
+// Keys are content addresses, so two writers racing on the same key are
+// by construction writing the same bytes: a writer that finds the final
+// file already present simply discards its copy and reports dup=true —
+// losing the rename is a hit, never a conflict. The "ckpt.write" fault
+// site lets the chaos suite turn the shared store read-only.
+func (s *Store) SaveRaw(key string, payload []byte) (dup bool, err error) {
+	if !s.Enabled() {
+		return false, nil
+	}
+	if err := fault.Hit("ckpt.write"); err != nil {
+		s.count("skip")
+		return false, fmt.Errorf("ckpt: write %s: %w", key, err)
+	}
+	if _, err := os.Stat(s.path(key)); err == nil {
+		// Another writer already landed this key; content addressing
+		// makes its bytes ours.
+		s.count("dup")
+		return true, nil
+	}
 	crc := crc32.ChecksumIEEE(payload)
-	tmp, err := os.CreateTemp(s.dir, "tmp-*.ckpt")
+	tmp, tmpName, err := s.createTemp()
 	if err != nil {
 		s.count("skip")
-		return fmt.Errorf("ckpt: temp file: %w", err)
+		return false, fmt.Errorf("ckpt: temp file: %w", err)
 	}
-	tmpName := tmp.Name()
 	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
 	if _, err := io.WriteString(tmp, header(crc, len(payload))); err != nil {
 		cleanup()
 		s.count("skip")
-		return fmt.Errorf("ckpt: write header: %w", err)
+		return false, fmt.Errorf("ckpt: write header: %w", err)
 	}
 	if _, err := tmp.Write(payload); err != nil {
 		cleanup()
 		s.count("skip")
-		return fmt.Errorf("ckpt: write payload: %w", err)
+		return false, fmt.Errorf("ckpt: write payload: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		s.count("skip")
-		return fmt.Errorf("ckpt: close: %w", err)
+		return false, fmt.Errorf("ckpt: close: %w", err)
+	}
+	// Re-check before the rename: the final file appearing between the
+	// first stat and here means another writer won the race while we
+	// were writing. (A write interleaving between this check and the
+	// rename is harmless — both files hold identical bytes.)
+	if _, err := os.Stat(s.path(key)); err == nil {
+		os.Remove(tmpName)
+		s.count("dup")
+		return true, nil
 	}
 	if err := os.Rename(tmpName, s.path(key)); err != nil {
 		os.Remove(tmpName)
 		s.count("skip")
-		return fmt.Errorf("ckpt: rename: %w", err)
+		return false, fmt.Errorf("ckpt: rename: %w", err)
 	}
 	s.count("store")
-	return nil
+	return false, nil
+}
+
+// createTemp opens a fresh O_EXCL temp file suffixed with this writer's
+// ID, so writers sharing the directory can never open each other's
+// in-flight files and a leaked temp names its owner. The "tmp-" prefix
+// keeps Keys from listing it.
+func (s *Store) createTemp() (*os.File, string, error) {
+	for range 10 {
+		name := filepath.Join(s.dir, fmt.Sprintf("tmp-%s-%d.ckpt", s.writer, tmpSeq.Add(1)))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			return f, name, nil
+		}
+		if !os.IsExist(err) {
+			return nil, "", err
+		}
+	}
+	return nil, "", fmt.Errorf("temp name space exhausted for writer %s", s.writer)
 }
 
 // Load looks up key and, on a hit, unmarshals the payload into v.
@@ -169,24 +252,60 @@ func (s *Store) Save(key string, v any) error {
 // means a file existed but was rejected (wrong version, truncated,
 // CRC mismatch, bad JSON) and has been removed so the caller rebuilds.
 func (s *Store) Load(key string, v any) (ok bool, err error) {
+	payload, ok, err := s.loadPayload(key)
+	if !ok {
+		return false, err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		s.count("corrupt")
+		os.Remove(s.path(key))
+		return false, fmt.Errorf("ckpt: %s: payload not valid JSON (rebuilding)", key)
+	}
+	s.count("hit")
+	return true, nil
+}
+
+// LoadRaw looks up key and, on a hit, returns the validated payload
+// bytes without unmarshalling — the peer cache-fill endpoint streams
+// these verbatim, so every replica serves the identical encoding. The
+// miss/error contract matches Load.
+func (s *Store) LoadRaw(key string) (payload []byte, ok bool, err error) {
+	payload, ok, err = s.loadPayload(key)
+	if !ok {
+		return nil, false, err
+	}
+	// The payload must at least be well-formed JSON before another
+	// replica trusts it as a cache fill.
+	if !json.Valid(payload) {
+		s.count("corrupt")
+		os.Remove(s.path(key))
+		return nil, false, fmt.Errorf("ckpt: %s: payload not valid JSON (rebuilding)", key)
+	}
+	s.count("hit")
+	return payload, true, nil
+}
+
+// loadPayload reads and validates key's file down to the CRC, without
+// the JSON check or hit accounting (the exported wrappers own those).
+func (s *Store) loadPayload(key string) (payload []byte, ok bool, err error) {
 	if !s.Enabled() {
-		return false, nil
+		return nil, false, nil
 	}
 	f, err := os.Open(s.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
 			s.count("miss")
-			return false, nil
+			return nil, false, nil
 		}
 		s.count("corrupt")
-		return false, fmt.Errorf("ckpt: open %s: %w", key, err)
+		return nil, false, fmt.Errorf("ckpt: open %s: %w", key, err)
 	}
 	defer f.Close()
 
-	reject := func(cause string) (bool, error) {
+	reject := func(cause string) ([]byte, bool, error) {
 		s.count("corrupt")
 		os.Remove(s.path(key))
-		return false, fmt.Errorf("ckpt: %s: %s (rebuilding)", key, cause)
+		return nil, false, fmt.Errorf("ckpt: %s: %s (rebuilding)", key, cause)
 	}
 
 	br := bufio.NewReader(f)
@@ -206,7 +325,7 @@ func (s *Store) Load(key string, v any) (ok bool, err error) {
 	if n < 0 {
 		return reject("negative payload length")
 	}
-	payload := make([]byte, n)
+	payload = make([]byte, n)
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return reject("truncated payload")
 	}
@@ -217,9 +336,13 @@ func (s *Store) Load(key string, v any) (ok bool, err error) {
 	if got := crc32.ChecksumIEEE(payload); got != crc {
 		return reject(fmt.Sprintf("crc %08x, want %08x", got, crc))
 	}
-	if err := json.Unmarshal(payload, v); err != nil {
-		return reject("payload not valid JSON")
-	}
-	s.count("hit")
-	return true, nil
+	return payload, true, nil
+}
+
+// ValidPayload reports whether raw is a payload another replica may
+// trust as a cache fill for a content-addressed key: non-empty,
+// well-formed JSON. (The CRC protects the disk path; HTTP transport has
+// its own integrity, so structural validity is the peer check.)
+func ValidPayload(raw []byte) bool {
+	return len(bytes.TrimSpace(raw)) > 0 && json.Valid(raw)
 }

@@ -1,0 +1,192 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// ErrLeaseLost is returned by renew when the lease file no longer names
+// this replica as owner — another replica presumed us dead (an expired
+// TTL) and took the key over. The build keeps running: its result is
+// content-addressed, so finishing it is harmless, merely redundant.
+var ErrLeaseLost = errors.New("replica: lease lost to another owner")
+
+// leaseRecord is the JSON body of a lease file. Expires is an absolute
+// wall-clock deadline: replicas share a filesystem, so they share a
+// clock to within NTP skew, which the TTL must dominate.
+type leaseRecord struct {
+	Owner   string `json:"owner"`
+	Seq     int64  `json:"seq"`             // renewal count, for debugging
+	Expires int64  `json:"expires_unix_ns"` // absolute deadline
+}
+
+// expired reports whether the record's deadline has passed at now.
+// An unparseable lease file decodes to the zero record, whose Expires
+// of 0 is always in the past — torn writes read as stale, so a crash
+// mid-heartbeat cannot wedge a key forever.
+func (r leaseRecord) expired(now time.Time) bool {
+	return r.Expires <= now.UnixNano()
+}
+
+// leaseDir implements the on-disk lease protocol over the shared
+// checkpoint directory: one `<key>.lease` file per in-flight build,
+// created atomically (O_CREATE|O_EXCL), renewed by the builder's
+// heartbeat via temp-file + rename, deleted on release — or by any
+// replica that finds it expired (takeover).
+type leaseDir struct {
+	dir   string
+	owner string
+	ttl   time.Duration
+	now   func() time.Time // test seam; time.Now in production
+}
+
+func (l *leaseDir) path(key string) string {
+	return filepath.Join(l.dir, key+".lease")
+}
+
+// tryAcquire attempts to claim key. held=true means this replica now
+// owns the lease and must build; held=false with err=nil means a live
+// holder exists and cur describes it. takeover reports that an expired
+// lease was deleted along the way (counted by the caller only when the
+// claim then succeeded). A non-nil err means the lease infrastructure
+// itself failed — unwritable directory, injected fault — and the caller
+// degrades to an uncoordinated local build.
+func (l *leaseDir) tryAcquire(key string) (held bool, cur leaseRecord, takeover bool, err error) {
+	if err := fault.Hit(SiteLeaseAcquire); err != nil {
+		return false, leaseRecord{}, false, err
+	}
+	// Two rounds: a first create attempt, and — after deleting an
+	// expired lease — exactly one more. Losing the second race means
+	// another replica took the key over first; it is the live holder.
+	for attempt := 0; attempt < 2; attempt++ {
+		mine, created, err := l.create(key)
+		if err != nil {
+			return false, leaseRecord{}, takeover, err
+		}
+		if created {
+			return true, mine, takeover, nil
+		}
+		rec, ok, err := l.read(key)
+		if err != nil {
+			return false, leaseRecord{}, takeover, err
+		}
+		if ok && !rec.expired(l.now()) {
+			return false, rec, false, nil
+		}
+		if ok {
+			// Crashed builder: the lease outlived its heartbeat. Delete
+			// it and race for the claim.
+			os.Remove(l.path(key))
+			takeover = true
+		}
+		// !ok: the file vanished between create and read (released or
+		// taken over); loop and try the create again.
+	}
+	rec, _, err := l.read(key)
+	if err != nil {
+		return false, leaseRecord{}, takeover, err
+	}
+	return false, rec, false, nil
+}
+
+// create makes the O_EXCL claim attempt. created=false with err=nil
+// means the file already exists (someone holds, or held, the lease).
+func (l *leaseDir) create(key string) (rec leaseRecord, created bool, err error) {
+	f, err := os.OpenFile(l.path(key), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return leaseRecord{}, false, nil
+		}
+		return leaseRecord{}, false, fmt.Errorf("replica: lease create %s: %w", key, err)
+	}
+	rec = leaseRecord{Owner: l.owner, Seq: 1, Expires: l.now().Add(l.ttl).UnixNano()}
+	b, _ := json.Marshal(rec)
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(l.path(key))
+		return leaseRecord{}, false, fmt.Errorf("replica: lease write %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(l.path(key))
+		return leaseRecord{}, false, fmt.Errorf("replica: lease close %s: %w", key, err)
+	}
+	return rec, true, nil
+}
+
+// read returns the current lease record. ok=false means no lease file
+// exists. An unreadable or unparseable file reads as the zero record
+// (ok=true, already expired), so corruption resolves to takeover.
+func (l *leaseDir) read(key string) (rec leaseRecord, ok bool, err error) {
+	b, err := os.ReadFile(l.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return leaseRecord{}, false, nil
+		}
+		return leaseRecord{}, false, fmt.Errorf("replica: lease read %s: %w", key, err)
+	}
+	_ = json.Unmarshal(b, &rec) // zero record on failure: expired
+	return rec, true, nil
+}
+
+// renew extends the lease deadline by one TTL, atomically replacing the
+// file so a concurrent read never sees a torn record. seq is the
+// renewal counter from the previous renew (1 after acquire); the new
+// value is returned. ErrLeaseLost means another replica owns the key
+// now; other errors mean the heartbeat could not reach the directory.
+func (l *leaseDir) renew(key string, seq int64) (int64, error) {
+	if err := fault.Hit(SiteLeaseRenew); err != nil {
+		return seq, err
+	}
+	cur, ok, err := l.read(key)
+	if err != nil {
+		return seq, err
+	}
+	if !ok || cur.Owner != l.owner {
+		return seq, ErrLeaseLost
+	}
+	rec := leaseRecord{Owner: l.owner, Seq: seq + 1, Expires: l.now().Add(l.ttl).UnixNano()}
+	b, _ := json.Marshal(rec)
+	tmp, err := os.CreateTemp(l.dir, "lease-tmp-*")
+	if err != nil {
+		return seq, fmt.Errorf("replica: lease renew %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return seq, fmt.Errorf("replica: lease renew %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return seq, fmt.Errorf("replica: lease renew %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, l.path(key)); err != nil {
+		os.Remove(tmpName)
+		return seq, fmt.Errorf("replica: lease renew %s: %w", key, err)
+	}
+	return rec.Seq, nil
+}
+
+// release deletes the lease if this replica still owns it. A release
+// that fails (or is suppressed by the replica.lease.release fault site)
+// leaves a stale lease behind; the next claimant waits out the TTL and
+// takes over, so a lost release costs latency, never correctness.
+func (l *leaseDir) release(key string) error {
+	if err := fault.Hit(SiteLeaseRelease); err != nil {
+		return err
+	}
+	cur, ok, err := l.read(key)
+	if err != nil || !ok {
+		return err
+	}
+	if cur.Owner == l.owner {
+		os.Remove(l.path(key))
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package replica
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for lease tests, so expiry is
+// driven by the test instead of real sleeps.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func testLeases(t *testing.T, owners ...string) (*fakeClock, []*leaseDir) {
+	t.Helper()
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	out := make([]*leaseDir, len(owners))
+	for i, o := range owners {
+		out[i] = &leaseDir{dir: dir, owner: o, ttl: 100 * time.Millisecond, now: clk.now}
+	}
+	return clk, out
+}
+
+func TestLeaseAcquireReleaseCycle(t *testing.T) {
+	_, ld := testLeases(t, "a", "b")
+	a, b := ld[0], ld[1]
+
+	held, _, takeover, err := a.tryAcquire("k1")
+	if err != nil || !held || takeover {
+		t.Fatalf("a.tryAcquire: held=%v takeover=%v err=%v", held, takeover, err)
+	}
+	held, cur, _, err := b.tryAcquire("k1")
+	if err != nil || held {
+		t.Fatalf("b.tryAcquire while a holds: held=%v err=%v", held, err)
+	}
+	if cur.Owner != "a" {
+		t.Fatalf("cur.Owner = %q, want a", cur.Owner)
+	}
+	if err := a.release("k1"); err != nil {
+		t.Fatalf("a.release: %v", err)
+	}
+	held, _, _, err = b.tryAcquire("k1")
+	if err != nil || !held {
+		t.Fatalf("b.tryAcquire after release: held=%v err=%v", held, err)
+	}
+}
+
+func TestLeaseExpiryTakeover(t *testing.T) {
+	clk, ld := testLeases(t, "a", "b")
+	a, b := ld[0], ld[1]
+
+	if held, _, _, _ := a.tryAcquire("k"); !held {
+		t.Fatal("a could not acquire a fresh key")
+	}
+	clk.advance(150 * time.Millisecond) // past the 100ms TTL
+	held, _, takeover, err := b.tryAcquire("k")
+	if err != nil || !held || !takeover {
+		t.Fatalf("b after expiry: held=%v takeover=%v err=%v", held, takeover, err)
+	}
+	// a's renewal must now fail: the key belongs to b.
+	if _, err := a.renew("k", 1); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("a.renew after takeover: err=%v, want ErrLeaseLost", err)
+	}
+}
+
+func TestLeaseRenewExtendsDeadline(t *testing.T) {
+	clk, ld := testLeases(t, "a", "b")
+	a, b := ld[0], ld[1]
+
+	if held, _, _, _ := a.tryAcquire("k"); !held {
+		t.Fatal("acquire failed")
+	}
+	clk.advance(80 * time.Millisecond)
+	seq, err := a.renew("k", 1)
+	if err != nil || seq != 2 {
+		t.Fatalf("renew: seq=%d err=%v", seq, err)
+	}
+	// Past the original deadline but inside the renewed one: b must
+	// still see a live holder.
+	clk.advance(80 * time.Millisecond)
+	held, cur, takeover, err := b.tryAcquire("k")
+	if err != nil || held || takeover {
+		t.Fatalf("b inside renewed lease: held=%v takeover=%v err=%v", held, takeover, err)
+	}
+	if cur.Owner != "a" || cur.Seq != 2 {
+		t.Fatalf("cur = %+v, want owner a seq 2", cur)
+	}
+}
+
+func TestLeaseUnparseableFileReadsAsExpired(t *testing.T) {
+	_, ld := testLeases(t, "a")
+	a := ld[0]
+	if err := os.WriteFile(a.path("k"), []byte("torn writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := a.read("k")
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if !rec.expired(a.now()) {
+		t.Fatal("unparseable lease did not read as expired")
+	}
+	held, _, takeover, err := a.tryAcquire("k")
+	if err != nil || !held || !takeover {
+		t.Fatalf("tryAcquire over garbage: held=%v takeover=%v err=%v", held, takeover, err)
+	}
+}
+
+func TestLeaseReleaseIgnoresForeignLease(t *testing.T) {
+	_, ld := testLeases(t, "a", "b")
+	a, b := ld[0], ld[1]
+	if held, _, _, _ := a.tryAcquire("k"); !held {
+		t.Fatal("acquire failed")
+	}
+	if err := b.release("k"); err != nil {
+		t.Fatalf("b.release: %v", err)
+	}
+	if _, ok, _ := a.read("k"); !ok {
+		t.Fatal("b.release deleted a's lease")
+	}
+}

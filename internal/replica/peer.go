@@ -1,0 +1,147 @@
+package replica
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// maxCacheFill bounds one peer cache-fill body. The largest artifact
+// payloads are a few MB; anything near this limit is a misbehaving
+// peer, not an artifact.
+const maxCacheFill = 256 << 20
+
+// peerSet drives HTTP cache-fill requests against sibling replicas:
+// GET {peer}/v1/cache/{key}, every attempt under its own deadline,
+// rounds separated by jittered exponential backoff, total attempts
+// bounded. All scheduling randomness comes from a seeded stream so a
+// replayed failure sequence backs off identically.
+type peerSet struct {
+	peers        []string // base URLs, e.g. "http://host:9001"
+	client       *http.Client
+	fetchTimeout time.Duration
+	retries      int // backoff rounds per fill attempt
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+
+	rr atomic.Uint64 // round-robin start index, spreads fill load
+
+	jmu    sync.Mutex
+	jitter *rng.Stream
+}
+
+// roundResult classifies one sweep over all peers.
+type roundResult struct {
+	payload []byte
+	ok      bool
+	// transient reports whether any peer failed in a retryable way
+	// (transport error, 5xx). All-definitive-miss rounds (every peer
+	// answered 404) are final: nobody has the key, retrying is wasted
+	// lease time.
+	transient bool
+}
+
+// round asks each peer once, starting at a rotating offset, and returns
+// the first valid payload. met collects the attempt/hit/miss/error
+// counters (owned by the Coordinator).
+func (p *peerSet) round(ctx context.Context, key string, met *peerMetrics) roundResult {
+	res := roundResult{}
+	if len(p.peers) == 0 {
+		return res
+	}
+	start := int(p.rr.Add(1))
+	for i := range p.peers {
+		peer := p.peers[(start+i)%len(p.peers)]
+		payload, outcome := p.fetchOne(ctx, peer, key, met)
+		switch outcome {
+		case fetchHit:
+			res.payload, res.ok = payload, true
+			return res
+		case fetchErr:
+			res.transient = true
+		}
+		if ctx.Err() != nil {
+			return res
+		}
+	}
+	return res
+}
+
+type fetchOutcome int
+
+const (
+	fetchHit fetchOutcome = iota
+	fetchMiss
+	fetchErr
+)
+
+// fetchOne performs a single deadline-bounded GET against one peer.
+func (p *peerSet) fetchOne(ctx context.Context, peer, key string, met *peerMetrics) ([]byte, fetchOutcome) {
+	if err := fault.Hit(SitePeerFetch); err != nil {
+		met.errs.Add(1)
+		return nil, fetchErr
+	}
+	met.attempts.Add(1)
+	fctx, cancel := context.WithTimeout(ctx, p.fetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
+	if err != nil {
+		met.errs.Add(1)
+		return nil, fetchErr
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		met.errs.Add(1)
+		return nil, fetchErr
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheFill))
+		if err != nil || !ckpt.ValidPayload(payload) {
+			met.errs.Add(1)
+			return nil, fetchErr
+		}
+		met.hits.Add(1)
+		return payload, fetchHit
+	case resp.StatusCode == http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		met.misses.Add(1)
+		return nil, fetchMiss
+	default:
+		io.Copy(io.Discard, resp.Body)
+		met.errs.Add(1)
+		return nil, fetchErr
+	}
+}
+
+// backoff returns the jittered delay before retry round n (1-based):
+// base·2^(n-1), capped, then scaled by a factor in [0.5, 1.5) so a
+// fleet of replicas spreads its retries instead of stampeding.
+func (p *peerSet) backoff(n int) time.Duration {
+	d := p.backoffBase << uint(n-1)
+	if d > p.backoffMax || d <= 0 {
+		d = p.backoffMax
+	}
+	p.jmu.Lock()
+	f := 0.5 + p.jitter.Float64()
+	p.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,79 @@
+// HTTP revalidation for the artifact routes. Every servable body is a
+// deterministic function of the scenario config and the artifact
+// identity — the same property behind checkpoint keys — so its ETag is
+// computable before the artifact is built. A conditional GET whose
+// If-None-Match still matches therefore costs no admission slot and no
+// build: the 304 short-circuits in front of the gate.
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+)
+
+// etagSchema versions the ETag derivation. Bump it when a renderer
+// changes what bytes a given (config, artifact, variant) produces, so
+// stale client caches revalidate instead of 304-ing forever (the
+// max-age below bounds the damage of a missed bump to one minute).
+const etagSchema = "serve.etag/v1"
+
+// cacheControl is the policy stamped on every cacheable artifact
+// response: shared caches may hold it, and must revalidate (cheap: the
+// 304 path above) after a minute.
+const cacheControl = "public, max-age=60"
+
+// artifactETag is the validator for one experiment artifact variant
+// (variant distinguishes representations: "json", "md", "csv:<table>",
+// "dat:<series>"). It extends the artifact's checkpoint key, so two
+// configs share an ETag exactly when they share a checkpoint.
+func artifactETag(cfg core.Config, expID, variant string) string {
+	return `"` + ckpt.Key(etagSchema, core.CheckpointKey(cfg, expID), variant) + `"`
+}
+
+// reportETag covers the composite report: the experiment set is part of
+// the identity, so ?extensions=1 and the paper set revalidate
+// independently.
+func reportETag(cfg core.Config, exps []core.Experiment, variant string) string {
+	parts := make([]string, 0, len(exps)+3)
+	parts = append(parts, etagSchema, "report:"+variant, cfg.Canonical())
+	for _, e := range exps {
+		parts = append(parts, core.CheckpointKey(cfg, e.ID))
+	}
+	return `"` + ckpt.Key(parts...) + `"`
+}
+
+// predictETag covers a prediction scenario (canonical is
+// predict.Scenario.Canonical, which encodes every parameter).
+func predictETag(canonical, variant string) string {
+	return `"` + ckpt.Key(etagSchema, "predict:"+variant, canonical) + `"`
+}
+
+// revalidate stamps the caching headers for a response known to carry
+// etag and answers a matching conditional GET with 304 Not Modified.
+// true means the response is complete and the handler must return.
+func (s *Server) revalidate(w http.ResponseWriter, r *http.Request, etag string) bool {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", cacheControl)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// etagMatch implements the If-None-Match comparison: a comma-separated
+// validator list, `*` matching anything, weak validators compared by
+// their opaque tag (RFC 9110's weak comparison — right for 304s).
+func etagMatch(headerVal, etag string) bool {
+	for _, c := range strings.Split(headerVal, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || strings.TrimPrefix(c, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// etagServer boots a single-replica daemon with one stub experiment.
+func etagServer(t *testing.T) (*httptest.Server, *stubState) {
+	t.Helper()
+	st := &stubState{}
+	srv := New(Config{Base: tinyConfig(), Experiments: []core.Experiment{stubExperiment("stub1", st)}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+// condGet performs a GET with an optional If-None-Match validator.
+func condGet(t *testing.T, url, inm string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestETagRoundTrip304(t *testing.T) {
+	ts, st := etagServer(t)
+	for _, path := range []string{
+		"/v1/artifacts/stub1",
+		"/v1/artifacts/stub1?format=md",
+		"/v1/report",
+		"/v1/predict?hosts=2&days=1",
+	} {
+		url := ts.URL + path
+		first := condGet(t, url, "")
+		if first.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, first.StatusCode)
+		}
+		etag := first.Header.Get("ETag")
+		if len(etag) != 66 || etag[0] != '"' { // quoted 64-hex content address
+			t.Fatalf("%s: ETag %q", path, etag)
+		}
+		if cc := first.Header.Get("Cache-Control"); cc != cacheControl {
+			t.Fatalf("%s: Cache-Control %q, want %q", path, cc, cacheControl)
+		}
+		second := condGet(t, url, etag)
+		if second.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s revalidation: status %d, want 304", path, second.StatusCode)
+		}
+		if got := second.Header.Get("ETag"); got != etag {
+			t.Fatalf("%s 304 ETag %q != %q", path, got, etag)
+		}
+		if second.ContentLength > 0 {
+			t.Fatalf("%s: 304 carried a body", path)
+		}
+	}
+	// The artifact built exactly once: both 304s and the md variant's
+	// cache hit reuse it, and revalidations never re-run the experiment.
+	if n := st.runs.Load(); n != 1 {
+		t.Fatalf("experiment ran %d times, want 1", n)
+	}
+}
+
+// TestETag304SkipsBuild: a conditional GET for a scenario this daemon
+// has never built must still 304 — the validator is derived from the
+// content address, which is computable without building. This is the
+// whole point: revalidation costs no admission slot and no simulation.
+func TestETag304SkipsBuild(t *testing.T) {
+	ts, st := etagServer(t)
+	etag := artifactETag(tinyConfig(), "stub1", "json")
+	resp := condGet(t, ts.URL+"/v1/artifacts/stub1", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status %d, want 304", resp.StatusCode)
+	}
+	if n := st.runs.Load(); n != 0 {
+		t.Fatalf("experiment ran %d times for a 304, want 0", n)
+	}
+}
+
+func TestETagVariesByRepresentationAndScenario(t *testing.T) {
+	cfg := tinyConfig()
+	etags := map[string]bool{}
+	for _, v := range []string{"json", "md", "csv:t1", "dat:s1"} {
+		etags[artifactETag(cfg, "stub1", v)] = true
+	}
+	other := cfg
+	other.Seed++
+	etags[artifactETag(other, "stub1", "json")] = true
+	etags[artifactETag(cfg, "stub2", "json")] = true
+	if len(etags) != 6 {
+		t.Fatalf("expected 6 distinct ETags, got %d", len(etags))
+	}
+}
+
+func TestETagMismatchServesFullBody(t *testing.T) {
+	ts, _ := etagServer(t)
+	resp := condGet(t, ts.URL+"/v1/artifacts/stub1", `"deadbeef"`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 for a stale validator", resp.StatusCode)
+	}
+}
+
+func TestETagMatchHeaderForms(t *testing.T) {
+	etag := `"abc123"`
+	for header, want := range map[string]bool{
+		`"abc123"`:           true,
+		`W/"abc123"`:         true, // weak comparison is fine for GET 304s
+		`*`:                  true,
+		`"zzz", "abc123"`:    true,
+		`"zzz" , W/"abc123"`: true,
+		`"zzz"`:              false,
+		``:                   false,
+	} {
+		if got := etagMatch(header, etag); got != want {
+			t.Errorf("etagMatch(%q) = %v, want %v", header, got, want)
+		}
+	}
+}

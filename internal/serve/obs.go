@@ -47,6 +47,8 @@ func endpointOf(path string) string {
 		}
 	case path == "/v1/predict":
 		return "predict"
+	case strings.HasPrefix(path, "/v1/cache/"):
+		return "cache"
 	default:
 		return "other"
 	}
@@ -55,10 +57,12 @@ func endpointOf(path string) string {
 // drainExempt reports whether an endpoint keeps serving during a
 // graceful drain. Telemetry must outlive admission: the final scrape
 // and trace pull of a terminating replica are exactly the ones that
-// explain why it terminated. /healthz is deliberately NOT exempt — it
-// reports draining so load balancers stop routing here.
+// explain why it terminated. Peer cache fills stay up too — a draining
+// replica's warm cache is what its siblings copy out before it goes,
+// and fills never trigger builds. /healthz is deliberately NOT exempt —
+// it reports draining so load balancers stop routing here.
 func drainExempt(endpoint string) bool {
-	return endpoint == "metrics" || endpoint == "debug_trace"
+	return endpoint == "metrics" || endpoint == "debug_trace" || endpoint == "cache"
 }
 
 // statusWriter captures the status code and body size flowing through
@@ -72,6 +76,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+	}
+	// The caching validators are stamped optimistically before admission
+	// (the 304 path must run in front of the gate). An error outcome —
+	// 429, 503, a failed build — must not go out with a public max-age,
+	// or a shared cache would pin the failure for a minute.
+	if code >= 400 {
+		w.Header().Del("ETag")
+		w.Header().Del("Cache-Control")
 	}
 	w.ResponseWriter.WriteHeader(code)
 }

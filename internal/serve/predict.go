@@ -123,6 +123,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	variant := "text"
+	if format == "json" {
+		variant = "json"
+	}
+	if s.revalidate(w, r, predictETag(sc.Canonical(), variant)) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}

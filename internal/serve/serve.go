@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/predict"
+	"repro/internal/replica"
 )
 
 // Scenario-parameter guard rails: the query route lets anyone ask for
@@ -78,6 +79,14 @@ type Config struct {
 	// writes new builds back, so a restart serves from disk instead of
 	// re-simulating. Keys are shared with cmd/repro -checkpoint-dir.
 	Store *ckpt.Store
+
+	// Replica, when set, routes every artifact build through the
+	// cross-replica coordinator: two-tier cache lookup, lease-based
+	// distributed singleflight, peer cache fill. The coordinator owns
+	// all checkpoint I/O on this path (builds run with a nil store), so
+	// Store should be the same store the coordinator wraps. nil keeps
+	// the single-replica behavior exactly.
+	Replica *replica.Coordinator
 
 	// Rec receives cell/build/experiment instrumentation from every
 	// context the daemon creates. nil allocates a fresh recorder.
@@ -126,6 +135,7 @@ type Server struct {
 	rec          *obs.Recorder
 	reg          *obs.Registry
 	store        *ckpt.Store
+	replica      *replica.Coordinator
 	gate         *Gate
 	lru          *lru[*entry]
 	buildTimeout time.Duration
@@ -158,6 +168,7 @@ type Server struct {
 // cells memoize the heavy artifacts, a singleflight group coalescing
 // concurrent builds per experiment, and the finished results.
 type entry struct {
+	cfg  core.Config
 	cctx *core.Context
 	sf   group
 
@@ -193,6 +204,7 @@ func New(cfg Config) *Server {
 		rec:          rec,
 		reg:          reg,
 		store:        cfg.Store,
+		replica:      cfg.Replica,
 		gate:         NewGate(cfg.MaxInflight, maxQueue, reg),
 		lru:          newLRU[*entry](maxContexts, reg, "serve.ctx"),
 		predictCache: newLRU[*predict.ScenarioReport](maxContexts, reg, "serve.predict.ctx"),
@@ -243,6 +255,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/artifacts/{id}/tables/{table}", s.handleTable)
 	s.mux.HandleFunc("GET /v1/artifacts/{id}/series/{series}", s.handleSeries)
 	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheFill)
 	return s
 }
 
@@ -352,7 +365,7 @@ func (s *Server) entryFor(ctx context.Context, cfg core.Config) *entry {
 	e, hit := s.lru.getOrCreate(cfg.Canonical(), func() *entry {
 		c := core.NewContext(cfg)
 		c.SetRecorder(s.rec)
-		return &entry{cctx: c, results: make(map[string]*core.Result)}
+		return &entry{cfg: cfg, cctx: c, results: make(map[string]*core.Result)}
 	})
 	if hit {
 		obs.ReqInfoFrom(ctx).MarkCtxCached()
@@ -395,7 +408,7 @@ func (s *Server) result(ctx context.Context, e *entry, exp core.Experiment) (*co
 		if ri != nil {
 			buildCtx = obs.ContextWithReqInfo(buildCtx, ri)
 		}
-		res, err := core.RunOne(buildCtx, e.cctx, exp, s.buildTimeout, s.store)
+		res, err := s.runArtifact(buildCtx, e, exp)
 		if err != nil {
 			return nil, err
 		}
@@ -413,6 +426,35 @@ func (s *Server) result(ctx context.Context, e *entry, exp core.Experiment) (*co
 	}
 	if err != nil {
 		return nil, err
+	}
+	return v.(*core.Result), nil
+}
+
+// runArtifact produces one artifact under the in-process singleflight
+// leader. Single-replica mode is core.RunOne against the local store.
+// With a coordinator, the build instead goes through the fleet-wide
+// path — local tier, shared store, peer cache fill, lease-guarded build
+// — and the coordinator owns all store I/O, so RunOne gets a nil store:
+// exactly one layer writes checkpoints.
+func (s *Server) runArtifact(ctx context.Context, e *entry, exp core.Experiment) (*core.Result, error) {
+	if s.replica == nil {
+		return core.RunOne(ctx, e.cctx, exp, s.buildTimeout, s.store)
+	}
+	key := core.CheckpointKey(e.cfg, exp.ID)
+	v, src, err := s.replica.Do(ctx, key,
+		func() any { return new(core.Result) },
+		func(bctx context.Context) (any, error) {
+			return core.RunOne(bctx, e.cctx, exp, s.buildTimeout, nil)
+		})
+	if err != nil {
+		return nil, err
+	}
+	ri := obs.ReqInfoFrom(ctx)
+	switch src {
+	case replica.SourceBuild, replica.SourceBuildUnleased:
+		ri.MarkCkptMiss()
+	default:
+		ri.MarkCkptHit()
 	}
 	return v.(*core.Result), nil
 }
@@ -493,17 +535,77 @@ type healthStatus struct {
 	Experiments   int     `json:"experiments"`
 	Contexts      int     `json:"contexts"`
 	Checkpoints   int     `json:"checkpoints"`
+
+	// Multi-replica fields, present only when a coordinator is wired.
+	Replica  string   `json:"replica,omitempty"`
+	Peers    int      `json:"peers,omitempty"`
+	Degraded []string `json:"degraded,omitempty"`
 }
 
+// handleHealthz reports liveness. A degraded replica — shared store
+// unwritable, lease directory unreachable — still answers 200 with
+// status "degraded" and the reasons: it is serving correctly from its
+// local tier, and flipping the health check would tell the load
+// balancer to remove the one replica that still has the bytes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	keys, _ := s.store.Keys() // best-effort: an unreadable dir reads as 0 warm
-	writeJSON(w, http.StatusOK, healthStatus{
+	hs := healthStatus{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Experiments:   len(s.allList),
 		Contexts:      s.lru.len(),
 		Checkpoints:   len(keys),
-	})
+	}
+	if s.replica != nil {
+		hs.Replica = s.replica.ID()
+		hs.Peers = len(s.replica.Peers())
+		hs.Degraded = s.replica.Degraded()
+		if len(hs.Degraded) > 0 {
+			hs.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, hs)
+}
+
+// handleCacheFill serves GET /v1/cache/{key}: the raw checkpoint
+// payload for a content-addressed key, for sibling replicas filling
+// their caches. It answers only from this replica's own tiers — never
+// by building, never by asking peers — so fills cannot cascade. The
+// endpoint is drain-exempt: a terminating replica's warm cache is
+// exactly what its siblings want to copy out before it goes.
+func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	if s.replica == nil {
+		writeError(w, http.StatusNotFound, "not running in multi-replica mode")
+		return
+	}
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, "key: want a 64-char lowercase hex content address")
+		return
+	}
+	payload, ok := s.replica.ServeLocal(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "key not cached on this replica")
+		return
+	}
+	writeBytes(w, "application/json", payload)
+}
+
+// validCacheKey guards the cache-fill path parameter: checkpoint keys
+// are exactly 64 lowercase hex digits (SHA-256), and the key reaches
+// filepath.Join inside the store, so anything else is rejected before
+// it can traverse.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // handleMetrics serves the registry snapshot. Prometheus text
@@ -553,7 +655,19 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("format: want json or md, got %q", format))
 		return
 	}
-	res, ok := s.buildFor(w, r, exp)
+	cfg, err := s.configFor(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	variant := "json"
+	if format == "md" {
+		variant = "md"
+	}
+	if s.revalidate(w, r, artifactETag(cfg, exp.ID, variant)) {
+		return
+	}
+	res, ok := s.buildFor(w, r, cfg, exp)
 	if !ok {
 		return
 	}
@@ -575,11 +689,19 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", r.PathValue("id")))
 		return
 	}
-	res, ok := s.buildFor(w, r, exp)
-	if !ok {
+	cfg, err := s.configFor(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	want := r.PathValue("table")
+	if s.revalidate(w, r, artifactETag(cfg, exp.ID, "csv:"+want)) {
+		return
+	}
+	res, ok := s.buildFor(w, r, cfg, exp)
+	if !ok {
+		return
+	}
 	for _, tbl := range res.Tables {
 		if tbl.ID != want {
 			continue
@@ -601,11 +723,19 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", r.PathValue("id")))
 		return
 	}
-	res, ok := s.buildFor(w, r, exp)
-	if !ok {
+	cfg, err := s.configFor(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	want := r.PathValue("series")
+	if s.revalidate(w, r, artifactETag(cfg, exp.ID, "dat:"+want)) {
+		return
+	}
+	res, ok := s.buildFor(w, r, cfg, exp)
+	if !ok {
+		return
+	}
 	for _, ser := range res.Series {
 		if ser.ID != want {
 			continue
@@ -637,6 +767,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	variant := "md"
+	if format == "json" {
+		variant = "json"
+	}
+	if s.revalidate(w, r, reportETag(cfg, exps, variant)) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -665,15 +802,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeBytes(w, "text/markdown; charset=utf-8", buf.Bytes())
 }
 
-// buildFor is the shared scenario-parse → admission → coalesced-build
-// prefix of every artifact handler. ok=false means the response has
-// already been written.
-func (s *Server) buildFor(w http.ResponseWriter, r *http.Request, exp core.Experiment) (*core.Result, bool) {
-	cfg, err := s.configFor(r.URL.Query())
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return nil, false
-	}
+// buildFor is the shared admission → coalesced-build prefix of every
+// artifact handler (the handler has already parsed cfg, which the ETag
+// derivation needed first). ok=false means the response has already
+// been written.
+func (s *Server) buildFor(w http.ResponseWriter, r *http.Request, cfg core.Config, exp core.Experiment) (*core.Result, bool) {
 	if !s.admit(w, r) {
 		return nil, false
 	}
